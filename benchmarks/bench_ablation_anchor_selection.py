@@ -1,0 +1,17 @@
+"""Ablation benchmark: anchor-field selection (paper choice vs automatic vs single).
+
+The paper leaves automatic anchor selection as future work; this benchmark
+compares its hand-picked anchors with a mutual-information heuristic and a
+single-anchor configuration.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_anchor_selection_ablation
+
+
+def test_ablation_anchor_selection(benchmark, bench_scale):
+    result = run_once(benchmark, run_anchor_selection_ablation, bench_scale)
+    print("\n=== Ablation: anchor-field selection ===")
+    print(result.format())
+    assert len(result.rows) == 4

@@ -1,0 +1,20 @@
+"""Ablation benchmark: dual quantization vs the classic sequential quantizer.
+
+Reproduces the motivation of paper Section III-D1: dual quantization removes
+the read-after-write dependency, so the quantize+predict stage is vectorisable
+while producing the same residual statistics.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_dual_quant_ablation
+
+
+def test_ablation_dual_quantization(benchmark, bench_scale):
+    result = run_once(benchmark, run_dual_quant_ablation, (64, 64))
+    print("\n=== Ablation: dual quantization vs classic quantization ===")
+    print(result.format())
+    seconds = dict(zip(result.column("scheme"), result.column("quant+predict seconds")))
+    dual = [v for k, v in seconds.items() if "dual" in k][0]
+    classic = [v for k, v in seconds.items() if "classic" in k][0]
+    assert dual <= classic  # the vectorised path is never slower

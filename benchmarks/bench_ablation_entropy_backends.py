@@ -1,0 +1,14 @@
+"""Ablation benchmark: entropy stage configuration (Huffman / zlib / raw)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_entropy_backend_ablation
+
+
+def test_ablation_entropy_backends(benchmark, bench_scale):
+    result = run_once(benchmark, run_entropy_backend_ablation, bench_scale)
+    print("\n=== Ablation: entropy backend ===")
+    print(result.format())
+    assert all(result.column("error bound held"))
+    ratios = dict(zip(result.column("entropy+backend"), result.column("ratio")))
+    assert ratios["huffman+zlib"] >= ratios["raw+raw"]

@@ -1,0 +1,13 @@
+"""Ablation benchmark: block-parallel compression enabled by dual quantization."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_parallel_block_ablation
+
+
+def test_ablation_parallel_blocks(benchmark, bench_scale):
+    result = run_once(benchmark, run_parallel_block_ablation, bench_scale)
+    print("\n=== Ablation: block-parallel compression ===")
+    print(result.format())
+    configs = result.column("configuration")
+    assert "single-shot" in configs and "blocks-thread" in configs

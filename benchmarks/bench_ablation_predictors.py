@@ -1,0 +1,12 @@
+"""Ablation benchmark: local predictor choice (Lorenzo / interpolation / regression / ZFP-like)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_predictor_ablation
+
+
+def test_ablation_predictors(benchmark, bench_scale):
+    result = run_once(benchmark, run_predictor_ablation, bench_scale)
+    print("\n=== Ablation: local predictor choice ===")
+    print(result.format())
+    assert set(result.column("predictor")) == {"lorenzo", "interpolation", "regression", "zfp-like"}

@@ -1,0 +1,18 @@
+"""Benchmark regenerating paper Figure 5 (training loss vs epoch).
+
+Left panel: CFNN training loss; right panel: hybrid prediction model training
+loss, both at the 1e-3 relative error bound.  The reproduced observation is a
+steady decrease without divergence.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_training_loss(benchmark, bench_scale):
+    result = run_once(benchmark, run_figure5, bench_scale)
+    print("\n=== Paper Figure 5: training loss vs epoch (CFNN and hybrid model) ===")
+    print(result.format())
+    assert result.cfnn_decreased()
+    assert result.hybrid_decreased()

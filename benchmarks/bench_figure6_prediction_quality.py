@@ -1,0 +1,20 @@
+"""Benchmark regenerating paper Figures 6 and 7 (prediction-accuracy comparison).
+
+Compares cross-field-only, Lorenzo-only and hybrid prediction of the Hurricane
+Wf field (PSNR/SSIM of the predicted slice, full view and zoom window).  The
+paper's observation: the hybrid prediction avoids the artifacts of either
+individual predictor and achieves the best overall accuracy.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_prediction_quality(benchmark, bench_scale):
+    result = run_once(benchmark, run_figure6, bench_scale)
+    print("\n=== Paper Figures 6-7: prediction accuracy (cross-field / Lorenzo / hybrid) ===")
+    print(result.format())
+    # the hybrid prediction should never be worse than the weaker of its two inputs
+    worst = min(result.metrics["cross_field"]["psnr"], result.metrics["lorenzo"]["psnr"])
+    assert result.metrics["hybrid"]["psnr"] >= worst

@@ -1,0 +1,36 @@
+"""Benchmark regenerating paper Figure 8 (rate-distortion curves).
+
+PSNR vs bit-rate for the baseline and the cross-field compressor on the
+evaluated fields.  The reproduced claim is the shape: the cross-field curve
+sits at or above the baseline curve, with the gap widening at higher bit rates
+(lower compression ratios).
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.experiments import run_figure8
+from repro.experiments.config import FieldExperiment, resolve_scale
+
+
+def _experiments():
+    # the full six-field sweep is expensive; cover one field per dataset by default
+    return [
+        FieldExperiment("hurricane", "Wf", (2e-3, 1e-3, 5e-4)),
+        FieldExperiment("cesm", "LWCF", (2e-3, 1e-3, 5e-4)),
+        FieldExperiment("cesm", "CLDTOT", (5e-3, 2e-3, 1e-3)),
+    ]
+
+
+def test_figure8_rate_distortion(benchmark, bench_scale):
+    result = run_once(benchmark, run_figure8, bench_scale, _experiments())
+    print("\n=== Paper Figure 8: rate-distortion (PSNR vs bit rate) ===")
+    for key, pair in result.curves.items():
+        gain = result.psnr_gain(key)
+        print(f"{key}: average PSNR gain of ours over baseline = {gain:+.2f} dB")
+    print(result.format())
+    assert len(result.curves) == 3
+    for pair in result.curves.values():
+        assert len(pair["baseline"].points) >= 2
+        assert len(pair["ours"].points) >= 2

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Table I (dataset inventory).
+
+Prints the dataset table (paper dims vs reproduction dims) and times the
+synthetic dataset generation itself.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_datasets(benchmark, bench_scale):
+    result = run_once(benchmark, run_table1, bench_scale)
+    print("\n=== Paper Table I: evaluated datasets ===")
+    print(result.format())
+    assert len(result.rows) == 3

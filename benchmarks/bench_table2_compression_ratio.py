@@ -1,0 +1,23 @@
+"""Benchmark regenerating paper Table II (compression ratios, baseline vs ours).
+
+This is the paper's headline result: the cross-field compressor against the
+SZ3-Lorenzo dual-quantization baseline on every evaluated field and error
+bound.  The printed table includes the paper's published numbers next to the
+measured ones; absolute values differ (synthetic data, reduced grids), the
+comparison of interest is which method wins and by roughly how much.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+
+def test_table2_compression_ratio(benchmark, bench_scale):
+    result = run_once(benchmark, run_table2, bench_scale)
+    print("\n=== Paper Table II: compression ratio, baseline vs cross-field ===")
+    print(result.format())
+    print(f"mean improvement over all cells: {result.mean_improvement():+.2f}%")
+    assert len(result.rows) >= 6
+    for row in result.rows:
+        assert row["baseline_ratio"] > 1.0
+        assert row["ours_ratio"] > 1.0

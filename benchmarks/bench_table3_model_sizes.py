@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Table III (anchor configuration and model sizes)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+
+
+def test_table3_model_sizes(benchmark, bench_scale):
+    result = run_once(benchmark, run_table3, bench_scale)
+    print("\n=== Paper Table III: experiment configuration and model sizes ===")
+    print(result.format())
+    assert len(result.rows) == 6
+    for row in result.rows:
+        # compact models, same order of magnitude as the paper's (thousands of params)
+        assert 100 < row["cfnn_parameters"] < 100_000
+        assert row["hybrid_parameters"] in (3, 4)

@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs an experiment runner exactly once (``rounds=1``) because a
+single run already involves CFNN training and full compression sweeps; the
+interesting output is the table/figure the runner prints, not a timing
+distribution.  Set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``default`` / ``paper``
+to control the dataset sizes (default: ``default``).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Scale at which the benchmark experiments run."""
+    from repro.experiments.config import resolve_scale
+
+    return resolve_scale(None)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/repro`` importable without an installed package.
+
+The project is normally installed with ``pip install -e .``; on offline
+machines without the ``wheel`` package the editable install can fail, so the
+test and benchmark suites fall back to adding ``src/`` to ``sys.path`` here.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

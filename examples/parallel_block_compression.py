@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Block-parallel compression of a large 2D field (dual-quantization payoff).
+
+Dual quantization removes the read-after-write dependency from the compression
+path, so independent blocks can be compressed concurrently.  This example
+compares single-shot, serial block-wise and thread-parallel block-wise
+compression of a CESM-like field, and verifies all three satisfy the same error
+bound.
+
+Run with:  python examples/parallel_block_compression.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import make_dataset
+from repro.experiments.report import format_table
+from repro.parallel import BlockParallelCompressor
+from repro.sz import ErrorBound, SZCompressor
+
+
+def main() -> None:
+    data = make_dataset("cesm", shape=(512, 1024), seed=1)["FLNT"].data
+    error_bound = ErrorBound.relative(1e-3)
+    rows = []
+
+    start = time.perf_counter()
+    single = SZCompressor(error_bound=error_bound)
+    single_result = single.compress(data)
+    single_recon = single.decompress(single_result.payload)
+    rows.append(("single-shot", single_result.ratio, time.perf_counter() - start, 1))
+
+    for kind, workers in (("serial", 1), ("thread", 4)):
+        compressor = BlockParallelCompressor(
+            compressor=SZCompressor(error_bound=error_bound),
+            block_shape=(128, 128),
+            executor_kind=kind,
+            max_workers=workers,
+        )
+        start = time.perf_counter()
+        result = compressor.compress(data, field_name="FLNT")
+        elapsed = time.perf_counter() - start
+        recon = compressor.decompress(result.payload)
+        max_error = float(np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))))
+        assert max_error <= result.abs_error_bound, "block-parallel result violated the error bound"
+        rows.append((f"blocks ({kind}, {workers} workers)", result.ratio, elapsed, result.n_blocks))
+
+    max_error = float(np.max(np.abs(single_recon.astype(np.float64) - data.astype(np.float64))))
+    assert max_error <= single_result.abs_error_bound
+
+    print(format_table(["Configuration", "Ratio", "Compress seconds", "Blocks/workers"], rows))
+    print("\nall configurations satisfy the same per-point error bound; the block decomposition")
+    print("trades a small ratio overhead (per-block headers) for parallel execution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: error-bounded compression with and without cross-field prediction.
+
+Generates a small synthetic Hurricane-like snapshot, compresses the vertical
+wind field (Wf) with the SZ-style baseline and with the cross-field compressor
+(anchors: Uf, Vf, Pf), verifies the error bound, and prints the size/quality
+comparison.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import CrossFieldCompressor, TrainingConfig
+from repro.core.anchors import get_anchor_spec
+from repro.data import make_dataset
+from repro.metrics import psnr, ssim
+from repro.sz import ErrorBound, SZCompressor
+
+
+def main() -> None:
+    # 1. a multi-field snapshot (use read_sdrbench() for real SDRBench files)
+    dataset = make_dataset("hurricane", shape=(16, 64, 64), seed=7)
+    print(dataset.describe())
+
+    spec = get_anchor_spec("hurricane", "Wf")
+    target = dataset[spec.target].data
+    error_bound = ErrorBound.relative(1e-3)
+
+    # 2. baseline: SZ-style Lorenzo + dual quantization
+    baseline = SZCompressor(error_bound=error_bound)
+    baseline_result = baseline.compress(target, field_name=spec.target)
+    baseline_recon = baseline.decompress(baseline_result.payload)
+    print(f"\nbaseline          : {baseline_result.summary()}")
+    print(f"  PSNR {psnr(target, baseline_recon):6.2f} dB   SSIM {ssim(target, baseline_recon):.4f}")
+
+    # 3. cross-field: anchors are compressed first; their reconstructions feed
+    #    the CFNN so the decompressor sees exactly the same inputs.
+    anchors = []
+    for name in spec.anchors:
+        anchor_payload = baseline.compress(dataset[name].data, field_name=name).payload
+        anchors.append(baseline.decompress(anchor_payload).astype(np.float64))
+
+    cross = CrossFieldCompressor(
+        error_bound=error_bound,
+        training=TrainingConfig(epochs=6, n_patches=48),
+    )
+    cross_result = cross.compress(target, anchors, field_name=spec.target)
+    cross_recon = cross.decompress(cross_result.payload, anchors)
+    print(f"cross-field (ours): {cross_result.summary()}")
+    print(f"  PSNR {psnr(target, cross_recon):6.2f} dB   SSIM {ssim(target, cross_recon):.4f}")
+    print(f"  prediction mode  : {cross_result.metadata['mode']}")
+    print(f"  hybrid weights   : {[round(w, 3) for w in cross_result.metadata['hybrid']['weights']]}")
+
+    # 4. both reconstructions respect the requested point-wise error bound
+    for name, recon, result in (
+        ("baseline", baseline_recon, baseline_result),
+        ("ours", cross_recon, cross_result),
+    ):
+        max_error = float(np.max(np.abs(recon.astype(np.float64) - target.astype(np.float64))))
+        assert max_error <= result.abs_error_bound, f"{name} violated the error bound"
+        print(f"  {name:<8s} max error {max_error:.3e} <= bound {result.abs_error_bound:.3e}")
+
+    improvement = 100.0 * (cross_result.ratio / baseline_result.ratio - 1.0)
+    print(f"\ncompression-ratio change from cross-field information: {improvement:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` works on minimal offline environments where
+the ``wheel`` package (needed by PEP 517 editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,313 @@
+"""The Cross-Field Neural Network (CFNN).
+
+Architecture (paper Figure 4): an initial convolution extracting local spatial
+features, a depthwise separable convolution module (depthwise + pointwise), a
+channel attention block that re-weights the channels, and a final convolution
+producing one output channel per data dimension — the predicted first-order
+backward differences of the target field.
+
+Design points carried over from the paper:
+
+- inputs and outputs are *backward differences*, not raw values (Section III-B);
+- the network is trained on normalised original data, so one trained model is
+  reused for every error bound of the same field (Section III-D2);
+- the model is deliberately compact (thousands of parameters, Table III)
+  because its serialised weights are stored in the compressed stream.
+
+Inference over a full field is tiled with a halo so memory stays bounded; the
+tiling is deterministic and recorded in the compressed metadata, so compressor
+and decompressor always produce identical predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.training import TrainingConfig, make_difference_patches, normalisation_scales
+from repro.data.differences import backward_differences_all_dims
+from repro.nn import (
+    Adam,
+    ChannelAttention,
+    Conv2d,
+    Conv3d,
+    DepthwiseSeparableConv2d,
+    DepthwiseSeparableConv3d,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Trainer,
+    TrainingHistory,
+    count_parameters,
+    state_from_bytes,
+    state_to_bytes,
+)
+from repro.utils.validation import ensure_array
+
+__all__ = ["CFNNConfig", "build_cfnn_network", "CFNN"]
+
+
+@dataclass
+class CFNNConfig:
+    """Architecture hyper-parameters of the CFNN."""
+
+    n_anchors: int
+    ndim: int
+    hidden_channels: int = 16
+    expanded_channels: int = 32
+    kernel_size: int = 3
+    attention_reduction: int = 4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.ndim not in (2, 3):
+            raise ValueError("CFNN supports 2D and 3D data")
+        if self.n_anchors < 1:
+            raise ValueError("at least one anchor field is required")
+        if self.kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd ('same' padding)")
+
+    @property
+    def in_channels(self) -> int:
+        """Input channels: one backward-difference channel per anchor per axis."""
+        return self.n_anchors * self.ndim
+
+    @property
+    def out_channels(self) -> int:
+        """Output channels: one predicted backward difference per axis."""
+        return self.ndim
+
+    @property
+    def halo(self) -> int:
+        """Receptive-field halo needed for exact tiled inference of the conv stack."""
+        # three k-sized convolutions (initial, depthwise, final) with 'same' padding
+        return 3 * (self.kernel_size // 2)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation stored in the compressed metadata."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CFNNConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+def build_cfnn_network(config: CFNNConfig, rng: Optional[np.random.Generator] = None) -> Sequential:
+    """Instantiate the CFNN layer stack for the given configuration."""
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    if config.ndim == 2:
+        initial = Conv2d(config.in_channels, config.hidden_channels, config.kernel_size, rng=rng)
+        separable = DepthwiseSeparableConv2d(
+            config.hidden_channels, config.expanded_channels, config.kernel_size, rng=rng
+        )
+        final = Conv2d(config.expanded_channels, config.out_channels, config.kernel_size, rng=rng)
+    else:
+        initial = Conv3d(config.in_channels, config.hidden_channels, config.kernel_size, rng=rng)
+        separable = DepthwiseSeparableConv3d(
+            config.hidden_channels, config.expanded_channels, config.kernel_size, rng=rng
+        )
+        final = Conv3d(config.expanded_channels, config.out_channels, config.kernel_size, rng=rng)
+    attention = ChannelAttention(config.expanded_channels, config.attention_reduction, rng=rng)
+    return Sequential(initial, ReLU(), separable, ReLU(), attention, final)
+
+
+class CFNN:
+    """Cross-field predictor: trained CNN plus its normalisation state.
+
+    Parameters
+    ----------
+    config:
+        Architecture description (:class:`CFNNConfig`).
+    tile_size:
+        Spatial tile edge used for full-field inference (memory control).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import CFNN, CFNNConfig, TrainingConfig
+    >>> rng = np.random.default_rng(0)
+    >>> anchors = [rng.normal(size=(32, 32)).cumsum(axis=1) for _ in range(2)]
+    >>> target = 0.5 * anchors[0] + 0.5 * anchors[1]
+    >>> model = CFNN(CFNNConfig(n_anchors=2, ndim=2))
+    >>> history = model.train(anchors, target, TrainingConfig(epochs=2, n_patches=16))
+    >>> diffs = model.predict_differences(anchors)
+    >>> len(diffs), diffs[0].shape
+    (2, (32, 32))
+    """
+
+    def __init__(self, config: CFNNConfig, tile_size: int = 64) -> None:
+        if tile_size < 4 * (config.kernel_size // 2) + 2:
+            raise ValueError("tile_size too small for the receptive field")
+        self.config = config
+        self.tile_size = int(tile_size)
+        self.network = build_cfnn_network(config)
+        self.anchor_scales: Optional[np.ndarray] = None
+        self.target_scales: Optional[np.ndarray] = None
+        self.history: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_parameters(self) -> int:
+        """Number of scalar parameters (the "Model Size CFNN" column of Table III)."""
+        return count_parameters(self.network)
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether normalisation state exists (set by :meth:`train` or :meth:`from_bytes`)."""
+        return self.anchor_scales is not None and self.target_scales is not None
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train(
+        self,
+        anchor_arrays: Sequence[np.ndarray],
+        target_array: np.ndarray,
+        training: Optional[TrainingConfig] = None,
+    ) -> TrainingHistory:
+        """Train the CFNN on aligned anchor/target backward-difference patches.
+
+        The anchors should be the arrays that will also be available at
+        decompression time (typically the *decompressed* anchor fields); the
+        target is the original field being compressed (the paper trains on
+        original values so one model serves every error bound).
+        """
+        if len(anchor_arrays) != self.config.n_anchors:
+            raise ValueError(
+                f"expected {self.config.n_anchors} anchor arrays, got {len(anchor_arrays)}"
+            )
+        training = training if training is not None else TrainingConfig()
+        rng = np.random.default_rng(training.seed)
+        inputs, targets, anchor_scales, target_scales = make_difference_patches(
+            anchor_arrays, target_array, training, rng=rng
+        )
+        self.anchor_scales = anchor_scales
+        self.target_scales = target_scales
+
+        n_val = int(round(training.validation_fraction * inputs.shape[0]))
+        validation = None
+        if n_val > 0 and inputs.shape[0] - n_val >= training.batch_size:
+            validation = (inputs[-n_val:], targets[-n_val:])
+            inputs, targets = inputs[:-n_val], targets[:-n_val]
+
+        optimizer = Adam(self.network.parameters(), lr=training.learning_rate)
+        trainer = Trainer(
+            self.network,
+            optimizer,
+            MSELoss(),
+            batch_size=training.batch_size,
+            clip_grad_norm=training.clip_grad_norm,
+            rng=rng,
+        )
+        self.history = trainer.fit(inputs, targets, epochs=training.epochs, validation=validation)
+        return self.history
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def _prepare_input(self, anchor_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Stack normalised anchor backward differences into a (1, C, *S) tensor."""
+        if self.anchor_scales is None:
+            raise RuntimeError("CFNN has no normalisation state; train or load it first")
+        if len(anchor_arrays) != self.config.n_anchors:
+            raise ValueError(
+                f"expected {self.config.n_anchors} anchor arrays, got {len(anchor_arrays)}"
+            )
+        diffs: List[np.ndarray] = []
+        shape = None
+        for anchor in anchor_arrays:
+            anchor = ensure_array(anchor, "anchor", dtype=np.float64)
+            if anchor.ndim != self.config.ndim:
+                raise ValueError(
+                    f"anchor has {anchor.ndim} dimensions, CFNN is configured for {self.config.ndim}"
+                )
+            if shape is None:
+                shape = anchor.shape
+            elif anchor.shape != shape:
+                raise ValueError("anchor arrays must share the same grid")
+            diffs.extend(backward_differences_all_dims(anchor))
+        stacked = np.stack([d / s for d, s in zip(diffs, self.anchor_scales)], axis=0)
+        return stacked[np.newaxis, ...]
+
+    def _tiles(self, spatial_shape: Tuple[int, ...]):
+        """Yield (core_slices, padded_slices, crop_slices) for halo-padded tiling."""
+        halo = self.config.halo
+        tile = self.tile_size
+        starts = [range(0, s, tile) for s in spatial_shape]
+        import itertools
+
+        for combo in itertools.product(*starts):
+            core = tuple(
+                slice(start, min(start + tile, size)) for start, size in zip(combo, spatial_shape)
+            )
+            padded = tuple(
+                slice(max(c.start - halo, 0), min(c.stop + halo, size))
+                for c, size in zip(core, spatial_shape)
+            )
+            crop = tuple(
+                slice(c.start - p.start, (c.start - p.start) + (c.stop - c.start))
+                for c, p in zip(core, padded)
+            )
+            yield core, padded, crop
+
+    def predict_differences(self, anchor_arrays: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Predict the target field's backward differences along every axis.
+
+        Returns one float64 array per axis, in physical (de-normalised) units.
+        Inference runs tile-by-tile with a receptive-field halo so arbitrarily
+        large fields fit in memory; the tiling is deterministic, which is what
+        keeps compressor and decompressor predictions identical.
+        """
+        if self.target_scales is None:
+            raise RuntimeError("CFNN has no normalisation state; train or load it first")
+        batch = self._prepare_input(anchor_arrays)
+        spatial_shape = batch.shape[2:]
+        output = np.zeros((self.config.out_channels,) + spatial_shape, dtype=np.float64)
+        for core, padded, crop in self._tiles(spatial_shape):
+            tile_input = batch[(slice(None), slice(None)) + padded]
+            tile_output = self.network(tile_input)[0]
+            output[(slice(None),) + core] = tile_output[(slice(None),) + crop]
+        return [output[d] * self.target_scales[d] for d in range(self.config.out_channels)]
+
+    # ------------------------------------------------------------------ #
+    # serialization (weights + scales travel inside the compressed stream)
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialise weights and normalisation scales to bytes (float32 payload)."""
+        if not self.is_trained:
+            raise RuntimeError("cannot serialise an untrained CFNN")
+        import json
+        import struct
+
+        # float16 weight storage halves the embedded-model overhead; the
+        # decompressor reloads the same rounded weights, so predictions stay
+        # bit-identical between compression and decompression.
+        weights = state_to_bytes(self.network, dtype=np.float16)
+        header = {
+            "config": self.config.to_dict(),
+            "tile_size": self.tile_size,
+            "anchor_scales": [float(s) for s in self.anchor_scales],
+            "target_scales": [float(s) for s in self.target_scales],
+        }
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        return struct.pack("<I", len(header_bytes)) + header_bytes + weights
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "CFNN":
+        """Reconstruct a trained CFNN serialised by :meth:`to_bytes`."""
+        import json
+        import struct
+
+        (header_len,) = struct.unpack_from("<I", payload, 0)
+        header = json.loads(payload[4 : 4 + header_len].decode("utf-8"))
+        config = CFNNConfig.from_dict(header["config"])
+        model = cls(config, tile_size=int(header["tile_size"]))
+        model.anchor_scales = np.asarray(header["anchor_scales"], dtype=np.float64)
+        model.target_scales = np.asarray(header["target_scales"], dtype=np.float64)
+        state_from_bytes(model.network, payload[4 + header_len :])
+        return model

@@ -1,0 +1,117 @@
+"""First-order finite-difference operators.
+
+The cross-field neural network (CFNN) does not predict raw field values — it
+predicts the *first-order backward difference* of the target field along each
+dimension, taking the backward differences of the anchor fields as input
+(paper Section III-B).  Backward differences are also what makes the predictor
+compatible with the Lorenzo decode order (paper Figure 3): the reconstruction
+of point ``(i, j)`` only needs values at smaller indices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import ensure_array
+
+__all__ = [
+    "backward_difference",
+    "forward_difference",
+    "central_difference",
+    "backward_differences_all_dims",
+    "integrate_backward_difference",
+]
+
+
+def backward_difference(data: np.ndarray, axis: int) -> np.ndarray:
+    """First-order backward difference ``d[i] = x[i] - x[i-1]`` along ``axis``.
+
+    The first element along ``axis`` (which has no predecessor) is defined as
+    ``x[0] - 0 = x[0]`` so that the difference field has the same shape as the
+    input and :func:`integrate_backward_difference` is an exact inverse.
+    """
+    data = ensure_array(data, "data")
+    axis = _normalize_axis(axis, data.ndim)
+    out = data.copy()
+    src = [slice(None)] * data.ndim
+    dst = [slice(None)] * data.ndim
+    src[axis] = slice(None, -1)
+    dst[axis] = slice(1, None)
+    out[tuple(dst)] = data[tuple(dst)] - data[tuple(src)]
+    return out
+
+
+def forward_difference(data: np.ndarray, axis: int) -> np.ndarray:
+    """First-order forward difference ``d[i] = x[i+1] - x[i]`` along ``axis``.
+
+    The last element along ``axis`` is set to zero (no successor).
+    """
+    data = ensure_array(data, "data")
+    axis = _normalize_axis(axis, data.ndim)
+    out = np.zeros_like(data)
+    src = [slice(None)] * data.ndim
+    dst = [slice(None)] * data.ndim
+    src[axis] = slice(1, None)
+    dst[axis] = slice(None, -1)
+    out[tuple(dst)] = data[tuple(src)] - data[tuple(dst)]
+    return out
+
+
+def central_difference(data: np.ndarray, axis: int) -> np.ndarray:
+    """First-order central difference ``d[i] = (x[i+1] - x[i-1]) / 2``.
+
+    Boundary points fall back to one-sided differences.  The paper notes that
+    central differences predict slightly better but are incompatible with the
+    Lorenzo decode order; this implementation exists for the corresponding
+    ablation.
+    """
+    data = ensure_array(data, "data")
+    axis = _normalize_axis(axis, data.ndim)
+    out = np.empty_like(data)
+    n = data.shape[axis]
+    if n == 1:
+        out[...] = 0
+        return out
+    mid_dst = [slice(None)] * data.ndim
+    plus = [slice(None)] * data.ndim
+    minus = [slice(None)] * data.ndim
+    mid_dst[axis] = slice(1, -1)
+    plus[axis] = slice(2, None)
+    minus[axis] = slice(None, -2)
+    out[tuple(mid_dst)] = (data[tuple(plus)] - data[tuple(minus)]) / 2.0
+    first_dst = [slice(None)] * data.ndim
+    first_dst[axis] = slice(0, 1)
+    second = [slice(None)] * data.ndim
+    second[axis] = slice(1, 2)
+    out[tuple(first_dst)] = data[tuple(second)] - data[tuple(first_dst)]
+    last_dst = [slice(None)] * data.ndim
+    last_dst[axis] = slice(n - 1, n)
+    prev = [slice(None)] * data.ndim
+    prev[axis] = slice(n - 2, n - 1)
+    out[tuple(last_dst)] = data[tuple(last_dst)] - data[tuple(prev)]
+    return out
+
+
+def backward_differences_all_dims(data: np.ndarray) -> List[np.ndarray]:
+    """Backward differences along every axis, in axis order.
+
+    This is the stacked multi-channel representation fed to (and predicted by)
+    the CFNN: for an ``n``-dimensional field it returns ``n`` arrays.
+    """
+    data = ensure_array(data, "data")
+    return [backward_difference(data, axis) for axis in range(data.ndim)]
+
+
+def integrate_backward_difference(diff: np.ndarray, axis: int) -> np.ndarray:
+    """Exact inverse of :func:`backward_difference` (cumulative sum along ``axis``)."""
+    diff = ensure_array(diff, "diff")
+    axis = _normalize_axis(axis, diff.ndim)
+    return np.cumsum(diff, axis=axis, dtype=np.float64).astype(diff.dtype)
+
+
+def _normalize_axis(axis: int, ndim: int) -> int:
+    if not -ndim <= axis < ndim:
+        raise ValueError(f"axis {axis} out of range for ndim {ndim}")
+    return axis % ndim

@@ -1,0 +1,228 @@
+"""Containers for named scientific data fields.
+
+Scientific simulation snapshots consist of several *fields* (variables) defined
+on the same grid — e.g. the SCALE-LETKF snapshot contains U, V, W, T, QV, PRES,
+RH and more on a ``98 x 1200 x 1200`` grid.  The cross-field compressor needs to
+address fields by name, know their grid, normalise them, and group a target
+field with its anchor fields.  :class:`Field` and :class:`FieldSet` provide that
+plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_array
+
+__all__ = ["Field", "FieldSet"]
+
+
+@dataclass
+class Field:
+    """A single named scientific variable on a regular grid.
+
+    Parameters
+    ----------
+    name:
+        Field name (e.g. ``"U"``, ``"CLDTOT"``).
+    data:
+        The raw values.  Stored as ``float32`` by default to match the
+        single-precision SDRBench datasets used in the paper.
+    units:
+        Optional physical units string, purely informational.
+    description:
+        Optional human readable description.
+    """
+
+    name: str
+    data: np.ndarray
+    units: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.data = ensure_array(self.data, name=f"field {self.name!r}")
+        if self.data.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            self.data = self.data.astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Grid shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of grid dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Number of data points."""
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        """Uncompressed size in bytes."""
+        return self.data.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Data dtype."""
+        return self.data.dtype
+
+    @property
+    def value_range(self) -> float:
+        """``max - min`` of the data; used for relative error bounds."""
+        return float(np.max(self.data) - np.min(self.data))
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+    def normalized(self, lo: float = 0.0, hi: float = 1.0) -> "Field":
+        """Return a copy linearly mapped to ``[lo, hi]``.
+
+        Constant fields map to ``lo`` everywhere.
+        """
+        dmin = float(np.min(self.data))
+        rng = self.value_range
+        if rng == 0.0:
+            scaled = np.full_like(self.data, lo)
+        else:
+            scaled = (self.data - dmin) / rng * (hi - lo) + lo
+        return Field(self.name, scaled.astype(self.data.dtype), self.units, self.description)
+
+    def astype(self, dtype) -> "Field":
+        """Return a copy cast to ``dtype``."""
+        return Field(self.name, self.data.astype(dtype), self.units, self.description)
+
+    def copy(self) -> "Field":
+        """Deep copy."""
+        return Field(self.name, self.data.copy(), self.units, self.description)
+
+    def with_data(self, data: np.ndarray) -> "Field":
+        """Return a new field with the same metadata but different values."""
+        return Field(self.name, data, self.units, self.description)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Field(name={self.name!r}, shape={self.shape}, dtype={self.dtype}, "
+            f"range=[{float(np.min(self.data)):.4g}, {float(np.max(self.data)):.4g}])"
+        )
+
+
+class FieldSet:
+    """An ordered, name-addressable collection of :class:`Field` on one grid.
+
+    All fields in a set must share the same shape — that is what makes
+    cross-field prediction meaningful (point-wise correspondence between
+    fields).
+    """
+
+    def __init__(self, fields: Iterable[Field] = (), name: str = "dataset") -> None:
+        self.name = name
+        self._fields: Dict[str, Field] = {}
+        for f in fields:
+            self.add(f)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, field: Field) -> None:
+        """Add a field, enforcing the shared-grid invariant."""
+        if not isinstance(field, Field):
+            raise TypeError(f"expected Field, got {type(field).__name__}")
+        if self._fields:
+            expected = next(iter(self._fields.values())).shape
+            if field.shape != expected:
+                raise ValueError(
+                    f"field {field.name!r} has shape {field.shape}, but the set grid is {expected}"
+                )
+        if field.name in self._fields:
+            raise ValueError(f"duplicate field name {field.name!r}")
+        self._fields[field.name] = field
+
+    def remove(self, name: str) -> Field:
+        """Remove and return a field by name."""
+        if name not in self._fields:
+            raise KeyError(name)
+        return self._fields.pop(name)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, name: str) -> Field:
+        if name not in self._fields:
+            raise KeyError(f"no field named {name!r}; available: {self.names}")
+        return self._fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields.values())
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    @property
+    def names(self) -> List[str]:
+        """Field names in insertion order."""
+        return list(self._fields.keys())
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shared grid shape (raises if the set is empty)."""
+        if not self._fields:
+            raise ValueError("FieldSet is empty")
+        return next(iter(self._fields.values())).shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of grid dimensions."""
+        return len(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total uncompressed bytes across all fields."""
+        return sum(f.nbytes for f in self._fields.values())
+
+    def subset(self, names: Sequence[str], name: Optional[str] = None) -> "FieldSet":
+        """Return a new set containing only ``names`` (order preserved)."""
+        return FieldSet([self[n] for n in names], name=name or self.name)
+
+    def arrays(self, names: Optional[Sequence[str]] = None) -> List[np.ndarray]:
+        """Return the raw arrays of ``names`` (all fields when ``None``)."""
+        if names is None:
+            names = self.names
+        return [self[n].data for n in names]
+
+    def stacked(self, names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack the selected fields into a ``(n_fields, *grid)`` array."""
+        return np.stack(self.arrays(names), axis=0)
+
+    def to_dict(self) -> Mapping[str, np.ndarray]:
+        """Return a ``{name: array}`` mapping (views, not copies)."""
+        return {name: f.data for name, f in self._fields.items()}
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, np.ndarray], name: str = "dataset") -> "FieldSet":
+        """Build a set from a ``{name: array}`` mapping."""
+        return cls([Field(n, arr) for n, arr in mapping.items()], name=name)
+
+    def describe(self) -> str:
+        """Multi-line text summary of the set (used by examples and reports)."""
+        lines = [f"FieldSet {self.name!r}: {len(self)} fields, grid {self.shape if self._fields else ()}"]
+        for f in self:
+            lines.append(
+                f"  {f.name:<10s} min={float(np.min(f.data)):>12.4g} "
+                f"max={float(np.max(f.data)):>12.4g} mean={float(np.mean(f.data)):>12.4g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FieldSet(name={self.name!r}, fields={self.names})"

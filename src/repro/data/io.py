@@ -1,0 +1,119 @@
+"""Binary IO in the SDRBench layout.
+
+SDRBench distributes each field of a dataset as a separate headerless binary
+file of little-endian ``float32`` values in row-major (C) order, e.g.
+``SCALE-98x1200x1200/U.f32``.  These helpers read and write that layout, plus a
+small JSON-manifest convenience format for whole :class:`~repro.data.fields.FieldSet`
+objects so synthetic datasets can be cached on disk between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.fields import Field, FieldSet
+from repro.utils.validation import ensure_array
+
+__all__ = ["read_sdrbench", "write_sdrbench", "read_fieldset", "write_fieldset"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_sdrbench(
+    path: PathLike,
+    shape: Sequence[int],
+    dtype=np.float32,
+    name: Optional[str] = None,
+) -> Field:
+    """Read one SDRBench-style raw binary field.
+
+    Parameters
+    ----------
+    path:
+        Path to the ``.f32`` / ``.dat`` file.
+    shape:
+        Grid shape the flat file should be reshaped to (C order).
+    dtype:
+        On-disk dtype; SDRBench uses little-endian ``float32``.
+    name:
+        Field name; defaults to the file stem.
+
+    Raises
+    ------
+    ValueError
+        If the file size does not match ``prod(shape) * itemsize``.
+    """
+    path = Path(path)
+    shape = tuple(int(s) for s in shape)
+    expected = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    actual = path.stat().st_size
+    if actual != expected:
+        raise ValueError(
+            f"{path} holds {actual} bytes but shape {shape} with dtype {np.dtype(dtype)} "
+            f"requires {expected} bytes"
+        )
+    data = np.fromfile(path, dtype=dtype).reshape(shape)
+    return Field(name or path.stem, data)
+
+
+def write_sdrbench(field: Field, path: PathLike, dtype=np.float32) -> Path:
+    """Write a field as a headerless raw binary file (SDRBench layout)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    field.data.astype(dtype).tofile(path)
+    return path
+
+
+def write_fieldset(fieldset: FieldSet, directory: PathLike, dtype=np.float32) -> Path:
+    """Write every field of a set plus a ``manifest.json`` describing the grid.
+
+    The manifest records the dataset name, grid shape, dtype, and per-field
+    file names/units/descriptions so that :func:`read_fieldset` can restore the
+    set without external knowledge.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict = {
+        "name": fieldset.name,
+        "shape": list(fieldset.shape),
+        "dtype": np.dtype(dtype).name,
+        "fields": [],
+    }
+    for field in fieldset:
+        filename = f"{field.name}.f32"
+        write_sdrbench(field, directory / filename, dtype=dtype)
+        manifest["fields"].append(
+            {
+                "name": field.name,
+                "file": filename,
+                "units": field.units,
+                "description": field.description,
+            }
+        )
+    with open(directory / "manifest.json", "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2)
+    return directory
+
+
+def read_fieldset(directory: PathLike) -> FieldSet:
+    """Read a field set previously written by :func:`write_fieldset`."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json in {directory}")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    shape = tuple(manifest["shape"])
+    dtype = np.dtype(manifest["dtype"])
+    fields = []
+    for entry in manifest["fields"]:
+        field = read_sdrbench(directory / entry["file"], shape, dtype=dtype, name=entry["name"])
+        field.units = entry.get("units", "")
+        field.description = entry.get("description", "")
+        fields.append(field)
+    return FieldSet(fields, name=manifest.get("name", directory.name))

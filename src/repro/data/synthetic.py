@@ -1,0 +1,366 @@
+"""Synthetic multi-field scientific datasets with cross-field correlations.
+
+The paper evaluates on three SDRBench datasets (SCALE-LETKF, CESM-ATM and
+Hurricane ISABEL).  Those files are not available offline, so this module
+generates synthetic substitutes that preserve the two properties the method
+exploits:
+
+1. **Within-field smoothness** — each field is built from spectrally synthesised
+   Gaussian random fields with a power-law spectrum, so local predictors
+   (Lorenzo) work about as well as on real climate data.
+2. **Nonlinear cross-field correlation** — fields within a dataset are derived
+   from *shared latent fields* through physically motivated, nonlinear
+   relations (winds from a shared streamfunction, relative humidity from
+   temperature and moisture, outgoing radiation from cloud cover, …), so a
+   cross-field predictor has real signal to learn, but the relation is not a
+   simple linear map.
+
+Every generator accepts the full paper-sized grid; defaults are scaled down so
+tests and benchmarks run in seconds in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.fields import Field, FieldSet
+
+__all__ = [
+    "gaussian_random_field",
+    "make_scale_dataset",
+    "make_hurricane_dataset",
+    "make_cesm_dataset",
+    "make_dataset",
+    "DATASET_GENERATORS",
+    "PAPER_DIMS",
+    "DEFAULT_DIMS",
+]
+
+#: Grid sizes used in the paper (Table I).
+PAPER_DIMS: Dict[str, Tuple[int, ...]] = {
+    "scale": (98, 1200, 1200),
+    "cesm": (1800, 3600),
+    "hurricane": (100, 500, 500),
+}
+
+#: Scaled-down defaults used by tests and benchmarks (same rank and aspect).
+DEFAULT_DIMS: Dict[str, Tuple[int, ...]] = {
+    "scale": (24, 96, 96),
+    "cesm": (180, 360),
+    "hurricane": (25, 100, 100),
+}
+
+
+# --------------------------------------------------------------------------- #
+# latent-field synthesis
+# --------------------------------------------------------------------------- #
+def gaussian_random_field(
+    shape: Sequence[int],
+    rng: np.random.Generator,
+    power: float = 3.0,
+    anisotropy: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Spectrally synthesised Gaussian random field with ``1/k^power`` spectrum.
+
+    Larger ``power`` gives smoother fields.  ``anisotropy`` rescales the
+    wavenumber of each axis (useful for atmospheric data where the vertical
+    dimension is much shorter and rougher than the horizontal ones).
+
+    The result is normalised to zero mean and unit standard deviation.
+    """
+    shape = tuple(int(s) for s in shape)
+    if any(s < 2 for s in shape):
+        raise ValueError(f"every dimension must be >= 2, got {shape}")
+    if power < 0:
+        raise ValueError("power must be non-negative")
+    if anisotropy is None:
+        anisotropy = [1.0] * len(shape)
+    anisotropy = list(anisotropy)
+    if len(anisotropy) != len(shape):
+        raise ValueError("anisotropy must have one entry per dimension")
+
+    freqs = [np.fft.fftfreq(n) * a for n, a in zip(shape, anisotropy)]
+    grids = np.meshgrid(*freqs, indexing="ij")
+    k2 = np.zeros(shape, dtype=np.float64)
+    for g in grids:
+        k2 += g**2
+    k = np.sqrt(k2)
+    # avoid the DC singularity; smallest nonzero wavenumber sets the floor
+    k_min = np.min(k[k > 0]) if np.any(k > 0) else 1.0
+    k[k == 0] = k_min
+    amplitude = k ** (-power / 2.0)
+    amplitude.flat[0] = 0.0  # remove the mean component explicitly
+
+    noise = rng.standard_normal(shape)
+    spectrum = np.fft.fftn(noise) * amplitude
+    field = np.real(np.fft.ifftn(spectrum))
+    field -= field.mean()
+    std = field.std()
+    if std > 0:
+        field /= std
+    return field.astype(np.float64)
+
+
+def _smooth_noise(shape, rng, power=2.0, scale=1.0):
+    """Small-amplitude smooth perturbation used to decorrelate derived fields."""
+    return scale * gaussian_random_field(shape, rng, power=power)
+
+
+# --------------------------------------------------------------------------- #
+# SCALE-LETKF-like dataset
+# --------------------------------------------------------------------------- #
+def make_scale_dataset(
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    noise_level: float = 0.08,
+) -> FieldSet:
+    """Synthetic SCALE-LETKF-like climate snapshot.
+
+    Fields (matching the names used by the paper and SDRBench):
+
+    - ``U``, ``V``: horizontal wind components, derived from a shared
+      streamfunction (rotational part) plus a velocity potential (divergent
+      part) — hence strongly but nonlinearly related to each other and to W.
+    - ``W``: vertical wind speed, proportional to the horizontal convergence
+      (continuity equation) plus smooth noise.
+    - ``PRES``: pressure, hydrostatic background decreasing with the vertical
+      level plus a dynamic component tied to the streamfunction.
+    - ``T``: temperature, lapse-rate background plus advected anomalies.
+    - ``QV``: water-vapour mixing ratio, Clausius–Clapeyron-like exponential
+      function of temperature, modulated by humidity anomalies.
+    - ``RH``: relative humidity, a saturating nonlinear function of QV and T.
+    """
+    if shape is None:
+        shape = DEFAULT_DIMS["scale"]
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3:
+        raise ValueError(f"SCALE dataset is 3D, got shape {shape}")
+    rng = np.random.default_rng(seed)
+    nz = shape[0]
+
+    aniso = [shape[1] / max(shape[0], 1), 1.0, 1.0]
+    psi = gaussian_random_field(shape, rng, power=4.0, anisotropy=aniso)  # streamfunction
+    chi = gaussian_random_field(shape, rng, power=4.0, anisotropy=aniso)  # velocity potential
+    theta = gaussian_random_field(shape, rng, power=3.8, anisotropy=aniso)  # thermal anomaly
+    moist = gaussian_random_field(shape, rng, power=3.6, anisotropy=aniso)  # humidity anomaly
+
+    # winds: rotational (from psi) + divergent (from chi) components
+    dpsi_dy = np.gradient(psi, axis=1)
+    dpsi_dx = np.gradient(psi, axis=2)
+    dchi_dx = np.gradient(chi, axis=2)
+    dchi_dy = np.gradient(chi, axis=1)
+    scale_wind = 18.0  # m/s characteristic magnitude
+    u = scale_wind * (-dpsi_dy + 0.35 * dchi_dx) * shape[2]
+    v = scale_wind * (dpsi_dx + 0.35 * dchi_dy) * shape[1]
+    # re-normalise winds to a realistic range
+    u = 15.0 * u / (np.abs(u).max() + 1e-12) + _smooth_noise(shape, rng, scale=noise_level)
+    v = 15.0 * v / (np.abs(v).max() + 1e-12) + _smooth_noise(shape, rng, scale=noise_level)
+
+    # vertical velocity from horizontal convergence
+    div = np.gradient(u, axis=2) + np.gradient(v, axis=1)
+    w = -0.8 * div
+    w = 2.5 * w / (np.abs(w).max() + 1e-12) + _smooth_noise(shape, rng, scale=0.5 * noise_level)
+
+    # pressure: hydrostatic column + dynamic part
+    level = np.arange(nz, dtype=np.float64).reshape(-1, 1, 1) / max(nz - 1, 1)
+    p_background = 100000.0 * np.exp(-1.2 * level)
+    pres = p_background + 900.0 * psi + 250.0 * _smooth_noise(shape, rng, scale=1.0)
+
+    # temperature: lapse rate + anomalies tied to the streamfunction
+    t = 300.0 - 55.0 * level + 6.0 * theta + 2.0 * psi + _smooth_noise(shape, rng, scale=noise_level)
+
+    # water vapour: exponential function of temperature (Clausius-Clapeyron-like)
+    qv_sat = 0.02 * np.exp(0.065 * (t - 300.0))
+    saturation = _sigmoid(1.5 * moist + 0.8 * theta)
+    qv = np.clip(qv_sat * saturation, 0.0, None)
+
+    # relative humidity in percent, saturating nonlinearity
+    rh = 100.0 * np.clip(qv / (qv_sat + 1e-9), 0.0, 1.05)
+    rh = np.clip(rh + 2.0 * _smooth_noise(shape, rng, scale=noise_level), 0.0, 110.0)
+
+    fields = [
+        Field("U", u.astype(np.float32), "m/s", "zonal wind speed"),
+        Field("V", v.astype(np.float32), "m/s", "meridional wind speed"),
+        Field("W", w.astype(np.float32), "m/s", "vertical wind speed"),
+        Field("PRES", pres.astype(np.float32), "Pa", "pressure"),
+        Field("T", t.astype(np.float32), "K", "temperature"),
+        Field("QV", qv.astype(np.float32), "kg/kg", "water vapour mixing ratio"),
+        Field("RH", rh.astype(np.float32), "%", "relative humidity"),
+    ]
+    return FieldSet(fields, name="SCALE")
+
+
+# --------------------------------------------------------------------------- #
+# Hurricane-ISABEL-like dataset
+# --------------------------------------------------------------------------- #
+def make_hurricane_dataset(
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 1,
+    noise_level: float = 0.08,
+) -> FieldSet:
+    """Synthetic Hurricane-ISABEL-like snapshot with a coherent vortex.
+
+    Fields:
+
+    - ``Uf``, ``Vf``: horizontal winds of a Rankine-like vortex embedded in a
+      large-scale background flow.
+    - ``Wf``: vertical wind, driven by convergence near the eyewall plus
+      convective cells — nonlinearly related to Uf/Vf/Pf, matching the paper's
+      target field.
+    - ``Pf``: pressure, cyclostrophic-balance-like drop toward the vortex core.
+    - ``TCf``: cloud temperature anomaly (extra field for anchor ablations).
+    """
+    if shape is None:
+        shape = DEFAULT_DIMS["hurricane"]
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3:
+        raise ValueError(f"Hurricane dataset is 3D, got shape {shape}")
+    rng = np.random.default_rng(seed)
+    nz, ny, nx = shape
+
+    z = np.linspace(0.0, 1.0, nz).reshape(-1, 1, 1)
+    y = np.linspace(-1.0, 1.0, ny).reshape(1, -1, 1)
+    x = np.linspace(-1.0, 1.0, nx).reshape(1, 1, -1)
+
+    # vortex centre drifts slightly with height, like a tilted hurricane core
+    cx = 0.15 * (z - 0.5)
+    cy = -0.10 * (z - 0.5)
+    dx = x - cx
+    dy = y - cy
+    r = np.sqrt(dx**2 + dy**2) + 1e-6
+    r_core = 0.18
+    # Rankine-like tangential wind profile: solid-body inside the core, 1/r outside
+    v_tan = 55.0 * np.where(r < r_core, r / r_core, r_core / r) * (1.0 - 0.5 * z)
+
+    background_u = 6.0 * gaussian_random_field(shape, rng, power=3.8)
+    background_v = 6.0 * gaussian_random_field(shape, rng, power=3.8)
+    uf = -v_tan * dy / r + background_u + _smooth_noise(shape, rng, scale=noise_level)
+    vf = v_tan * dx / r + background_v + _smooth_noise(shape, rng, scale=noise_level)
+
+    # vertical velocity: strong updrafts on the eyewall annulus, modulated by
+    # convective cells; nonlinear in r and in the horizontal winds
+    eyewall = np.exp(-(((r - r_core) / (0.6 * r_core)) ** 2))
+    cells = gaussian_random_field(shape, rng, power=3.4)
+    convergence = -(np.gradient(uf, axis=2) + np.gradient(vf, axis=1))
+    wf = 4.0 * eyewall * (0.6 + 0.4 * np.tanh(1.5 * cells)) + 12.0 * convergence
+    wf = wf * (0.3 + 0.7 * np.sin(np.pi * np.clip(z, 0, 1)))
+    wf = wf + _smooth_noise(shape, rng, scale=0.5 * noise_level)
+
+    # pressure: cyclostrophic-like core deficit plus background
+    pf = 101000.0 - 6500.0 * np.exp(-((r / (1.8 * r_core)) ** 2)) * (1.0 - 0.4 * z)
+    pf = pf + 120.0 * gaussian_random_field(shape, rng, power=3.8)
+
+    # cloud temperature anomaly tied to updrafts and humidity
+    tcf = -8.0 * np.tanh(0.8 * wf) + 3.0 * gaussian_random_field(shape, rng, power=3.6)
+
+    fields = [
+        Field("Uf", uf.astype(np.float32), "m/s", "zonal wind at 1000 hPa"),
+        Field("Vf", vf.astype(np.float32), "m/s", "meridional wind at 1000 hPa"),
+        Field("Wf", wf.astype(np.float32), "m/s", "vertical (upward) wind"),
+        Field("Pf", pf.astype(np.float32), "Pa", "pressure"),
+        Field("TCf", tcf.astype(np.float32), "K", "cloud temperature anomaly"),
+    ]
+    return FieldSet(fields, name="Hurricane")
+
+
+# --------------------------------------------------------------------------- #
+# CESM-ATM-like 2D dataset
+# --------------------------------------------------------------------------- #
+def make_cesm_dataset(
+    shape: Optional[Sequence[int]] = None,
+    seed: int = 2,
+    noise_level: float = 0.05,
+) -> FieldSet:
+    """Synthetic CESM-ATM-like 2D snapshot (cloud and radiative fields).
+
+    Fields and relations (mirroring the couplings the paper exploits):
+
+    - ``CLDLOW``, ``CLDMED``, ``CLDHGH``: low/medium/high cloud fractions from
+      correlated latent fields, each squashed to [0, 1].
+    - ``CLDTOT``: total cloud cover from random-overlap combination
+      ``1 - (1-low)(1-med)(1-high)`` — a nonlinear function of its anchors.
+    - ``FLNT``: net longwave flux at top of model, decreasing with cloud cover.
+    - ``FLNTC``: clear-sky counterpart of FLNT (no cloud dependence).
+    - ``LWCF``: longwave cloud forcing, ``FLNTC - FLNT``.
+    - ``FLUT``: upwelling longwave flux at top of model, closely mirroring FLNT
+      (the example given in paper Section III-A).
+    - ``FLUTC``: clear-sky counterpart of FLUT.
+    """
+    if shape is None:
+        shape = DEFAULT_DIMS["cesm"]
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 2:
+        raise ValueError(f"CESM-ATM dataset is 2D, got shape {shape}")
+    rng = np.random.default_rng(seed)
+
+    latent_a = gaussian_random_field(shape, rng, power=4.0)
+    latent_b = gaussian_random_field(shape, rng, power=3.6)
+    latent_c = gaussian_random_field(shape, rng, power=3.4)
+    temp_like = gaussian_random_field(shape, rng, power=4.2)
+
+    cldlow = _sigmoid(1.4 * latent_a + 0.5 * latent_b)
+    cldmed = _sigmoid(1.2 * latent_b + 0.4 * latent_c)
+    cldhgh = _sigmoid(1.3 * latent_c + 0.3 * latent_a)
+    for arr in (cldlow, cldmed, cldhgh):
+        arr += noise_level * 0.2 * gaussian_random_field(shape, rng, power=3.4)
+        np.clip(arr, 0.0, 1.0, out=arr)
+
+    cldtot = 1.0 - (1.0 - cldlow) * (1.0 - cldmed) * (1.0 - cldhgh)
+    cldtot = np.clip(cldtot + noise_level * 0.1 * gaussian_random_field(shape, rng, power=3.4), 0.0, 1.0)
+
+    # clear-sky longwave flux depends on the temperature-like latent only
+    flntc = 265.0 + 45.0 * temp_like
+    flutc = flntc + 6.0 + 2.0 * gaussian_random_field(shape, rng, power=3.8)
+
+    # all-sky flux: clouds reduce the outgoing longwave radiation
+    cloud_effect = 70.0 * cldtot * (0.55 + 0.45 * cldhgh)
+    flnt = flntc - cloud_effect + noise_level * 4.0 * gaussian_random_field(shape, rng, power=3.4)
+    flut = flnt + 5.5 + 1.5 * gaussian_random_field(shape, rng, power=3.8)
+    lwcf = flntc - flnt
+
+    fields = [
+        Field("CLDLOW", cldlow.astype(np.float32), "fraction", "low cloud fraction"),
+        Field("CLDMED", cldmed.astype(np.float32), "fraction", "medium cloud fraction"),
+        Field("CLDHGH", cldhgh.astype(np.float32), "fraction", "high cloud fraction"),
+        Field("CLDTOT", cldtot.astype(np.float32), "fraction", "total cloud fraction"),
+        Field("FLNT", flnt.astype(np.float32), "W/m^2", "net longwave flux at top of model"),
+        Field("FLNTC", flntc.astype(np.float32), "W/m^2", "clear-sky net longwave flux"),
+        Field("LWCF", lwcf.astype(np.float32), "W/m^2", "longwave cloud forcing"),
+        Field("FLUT", flut.astype(np.float32), "W/m^2", "upwelling longwave flux"),
+        Field("FLUTC", flutc.astype(np.float32), "W/m^2", "clear-sky upwelling longwave flux"),
+    ]
+    return FieldSet(fields, name="CESM-ATM")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+DATASET_GENERATORS: Dict[str, Callable[..., FieldSet]] = {
+    "scale": make_scale_dataset,
+    "hurricane": make_hurricane_dataset,
+    "cesm": make_cesm_dataset,
+}
+
+
+def make_dataset(
+    name: str,
+    shape: Optional[Sequence[int]] = None,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> FieldSet:
+    """Generate a dataset by name (``"scale"``, ``"hurricane"``, ``"cesm"``)."""
+    key = name.lower()
+    aliases = {"cesm-atm": "cesm", "scale-letkf": "scale", "hurricane-isabel": "hurricane"}
+    key = aliases.get(key, key)
+    if key not in DATASET_GENERATORS:
+        raise ValueError(f"unknown dataset {name!r}; available: {sorted(DATASET_GENERATORS)}")
+    generator = DATASET_GENERATORS[key]
+    if seed is not None:
+        kwargs["seed"] = seed
+    return generator(shape=shape, **kwargs)

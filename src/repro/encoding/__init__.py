@@ -1,0 +1,38 @@
+"""Entropy coding and byte-stream substrate for the compression pipeline.
+
+Implements the third SZ stage ("customized Huffman coding and additional
+lossless compression"): a bit-level stream writer/reader, a canonical Huffman
+coder with a vectorised encoder, zigzag/RLE integer transforms, pluggable
+lossless backends, and the on-disk container format for compressed payloads.
+"""
+
+from repro.encoding.bitstream import BitWriter, BitReader
+from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+from repro.encoding.rle import zigzag_encode, zigzag_decode, rle_encode, rle_decode
+from repro.encoding.lossless import (
+    LosslessBackend,
+    ZlibBackend,
+    RawBackend,
+    get_backend,
+    available_backends,
+)
+from repro.encoding.container import CompressedBlob, pack_sections, unpack_sections
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "HuffmanCodec",
+    "HuffmanTable",
+    "zigzag_encode",
+    "zigzag_decode",
+    "rle_encode",
+    "rle_decode",
+    "LosslessBackend",
+    "ZlibBackend",
+    "RawBackend",
+    "get_backend",
+    "available_backends",
+    "CompressedBlob",
+    "pack_sections",
+    "unpack_sections",
+]

@@ -1,0 +1,123 @@
+"""Bit-level stream writer and reader.
+
+Huffman code words have arbitrary bit lengths, so the codec needs a byte buffer
+that can be written and read at bit granularity.  The writer keeps a small
+Python integer accumulator and flushes whole bytes into a ``bytearray``; the
+reader mirrors it.  Both are MSB-first, which matches the canonical Huffman
+code ordering used in :mod:`repro.encoding.huffman`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._n_bits = 0
+        self._total_bits = 0
+
+    def write(self, value: int, n_bits: int) -> None:
+        """Write the lowest ``n_bits`` bits of ``value`` (MSB of those first)."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if n_bits == 0:
+            return
+        if value < 0:
+            raise ValueError("value must be non-negative; zigzag-encode signed data first")
+        if value >> n_bits:
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        self._accumulator = (self._accumulator << n_bits) | value
+        self._n_bits += n_bits
+        self._total_bits += n_bits
+        while self._n_bits >= 8:
+            self._n_bits -= 8
+            byte = (self._accumulator >> self._n_bits) & 0xFF
+            self._buffer.append(byte)
+        # keep the accumulator small
+        self._accumulator &= (1 << self._n_bits) - 1
+
+    def write_unary(self, value: int) -> None:
+        """Write ``value`` as a unary code: ``value`` ones followed by a zero."""
+        if value < 0:
+            raise ValueError("unary codes require non-negative values")
+        remaining = value
+        while remaining >= 32:
+            self.write((1 << 32) - 1, 32)
+            remaining -= 32
+        self.write(((1 << remaining) - 1) << 1, remaining + 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return self._total_bits
+
+    def getvalue(self) -> bytes:
+        """Return the buffer padded with zero bits to a whole number of bytes."""
+        out = bytearray(self._buffer)
+        if self._n_bits:
+            out.append((self._accumulator << (8 - self._n_bits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = np.frombuffer(bytes(data), dtype=np.uint8)
+        self._bit_pos = 0
+
+    def read(self, n_bits: int) -> int:
+        """Read ``n_bits`` bits and return them as a non-negative integer."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if n_bits == 0:
+            return 0
+        if self._bit_pos + n_bits > len(self._data) * 8:
+            raise EOFError("attempt to read past the end of the bitstream")
+        value = 0
+        remaining = n_bits
+        while remaining > 0:
+            byte_index = self._bit_pos // 8
+            bit_offset = self._bit_pos % 8
+            available = 8 - bit_offset
+            take = min(available, remaining)
+            byte = int(self._data[byte_index])
+            chunk = (byte >> (available - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            self._bit_pos += take
+            remaining -= take
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary code written by :meth:`BitWriter.write_unary`."""
+        count = 0
+        while True:
+            bit = self.read(1)
+            if bit == 0:
+                return count
+            count += 1
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of unread bits (including any trailing padding)."""
+        return len(self._data) * 8 - self._bit_pos
+
+    @property
+    def bit_position(self) -> int:
+        """Current absolute bit offset."""
+        return self._bit_pos
+
+    def seek_bit(self, position: int) -> None:
+        """Move to an absolute bit offset."""
+        if not 0 <= position <= len(self._data) * 8:
+            raise ValueError("bit position out of range")
+        self._bit_pos = position

@@ -1,0 +1,302 @@
+"""Canonical Huffman coding for quantization codes.
+
+SZ-style compressors emit one small integer "quantization code" per data point
+(centred on the zero-error bin), whose distribution is heavily peaked — exactly
+the regime where Huffman coding shines.  This module implements:
+
+- length-limited Huffman code construction (so the decoder can use a single
+  lookup table),
+- canonical code assignment (so only the code *lengths* need to be stored),
+- a vectorised encoder that packs code words with NumPy bit arithmetic, and
+- a table-driven decoder.
+
+The codec is completely generic: it maps any array of non-negative integers to
+bytes and back, and is reused by both the baseline SZ pipeline and the
+cross-field compressor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+__all__ = ["HuffmanTable", "HuffmanCodec"]
+
+#: Maximum code length: keeps the decoder lookup table at 2**16 entries.
+MAX_CODE_LENGTH = 16
+
+
+# --------------------------------------------------------------------------- #
+# code construction
+# --------------------------------------------------------------------------- #
+def _huffman_code_lengths(frequencies: np.ndarray) -> np.ndarray:
+    """Compute Huffman code lengths from symbol frequencies.
+
+    Returns an array of per-symbol lengths (0 for unused symbols).  Handles the
+    degenerate single-symbol alphabet by assigning it a 1-bit code.
+    """
+    freq = np.asarray(frequencies, dtype=np.int64)
+    symbols = np.nonzero(freq)[0]
+    if symbols.size == 0:
+        raise ValueError("cannot build a Huffman table from an all-zero histogram")
+    lengths = np.zeros(freq.shape[0], dtype=np.int64)
+    if symbols.size == 1:
+        lengths[symbols[0]] = 1
+        return lengths
+
+    # classic heap-based Huffman; nodes are (freq, tie-breaker, [symbols...])
+    heap: List[Tuple[int, int, List[int]]] = []
+    counter = 0
+    for s in symbols:
+        heap.append((int(freq[s]), counter, [int(s)]))
+        counter += 1
+    heapq.heapify(heap)
+    depth = {int(s): 0 for s in symbols}
+    while len(heap) > 1:
+        f1, _, group1 = heapq.heappop(heap)
+        f2, _, group2 = heapq.heappop(heap)
+        for s in group1 + group2:
+            depth[s] += 1
+        heapq.heappush(heap, (f1 + f2, counter, group1 + group2))
+        counter += 1
+    for s, d in depth.items():
+        lengths[s] = d
+    return lengths
+
+
+def _limit_code_lengths(lengths: np.ndarray, max_length: int) -> np.ndarray:
+    """Clamp code lengths to ``max_length`` while keeping the Kraft sum <= 1.
+
+    Uses the standard "bit-length adjustment" employed by zlib: clamp, then
+    while the Kraft sum exceeds 1, lengthen the shortest over-represented codes;
+    finally shorten codes where possible without violating the inequality.
+    """
+    lengths = lengths.copy()
+    used = lengths > 0
+    if not np.any(lengths > max_length):
+        return lengths
+    lengths[used & (lengths > max_length)] = max_length
+
+    def kraft(ls):
+        return np.sum(1.0 / np.exp2(ls[ls > 0]))
+
+    # lengthen codes (starting with the currently shortest) until Kraft <= 1
+    while kraft(lengths) > 1.0 + 1e-12:
+        candidates = np.where(used & (lengths < max_length))[0]
+        if candidates.size == 0:  # pragma: no cover - cannot happen for valid input
+            raise RuntimeError("cannot satisfy Kraft inequality")
+        shortest = candidates[np.argmin(lengths[candidates])]
+        lengths[shortest] += 1
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code words given per-symbol code lengths."""
+    codes = np.zeros(lengths.shape[0], dtype=np.uint32)
+    order = sorted(
+        (int(length), int(sym)) for sym, length in enumerate(lengths) if length > 0
+    )
+    code = 0
+    prev_length = 0
+    for length, sym in order:
+        code <<= length - prev_length
+        codes[sym] = code
+        code += 1
+        prev_length = length
+    return codes
+
+
+@dataclass
+class HuffmanTable:
+    """Canonical Huffman table: per-symbol code lengths and code words."""
+
+    lengths: np.ndarray
+    codes: np.ndarray
+
+    @classmethod
+    def from_frequencies(
+        cls, frequencies: np.ndarray, max_length: int = MAX_CODE_LENGTH
+    ) -> "HuffmanTable":
+        """Build a length-limited canonical table from a symbol histogram."""
+        lengths = _huffman_code_lengths(frequencies)
+        lengths = _limit_code_lengths(lengths, max_length)
+        codes = _canonical_codes(lengths)
+        return cls(lengths=lengths.astype(np.uint8), codes=codes)
+
+    @classmethod
+    def from_lengths(cls, lengths: np.ndarray) -> "HuffmanTable":
+        """Rebuild the canonical table from code lengths alone (decoder side)."""
+        lengths = np.asarray(lengths, dtype=np.uint8)
+        codes = _canonical_codes(lengths.astype(np.int64))
+        return cls(lengths=lengths, codes=codes)
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of representable symbols (including unused ones)."""
+        return int(self.lengths.shape[0])
+
+    @property
+    def max_length(self) -> int:
+        """Longest code length in the table."""
+        return int(self.lengths.max()) if self.lengths.size else 0
+
+    def expected_bits(self, frequencies: np.ndarray) -> float:
+        """Total encoded bits for a stream with the given symbol histogram."""
+        freq = np.asarray(frequencies, dtype=np.float64)
+        if freq.shape[0] != self.alphabet_size:
+            raise ValueError("histogram size does not match the alphabet")
+        return float(np.sum(freq * self.lengths))
+
+    # ------------------------------------------------------------------ #
+    # serialization: (alphabet_size, sparse symbol->length pairs)
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialize the table as sparse ``(symbol, length)`` pairs."""
+        used = np.nonzero(self.lengths)[0].astype(np.uint32)
+        header = struct.pack("<II", self.alphabet_size, used.size)
+        body = b"".join(
+            struct.pack("<IB", int(sym), int(self.lengths[sym])) for sym in used
+        )
+        return header + body
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "HuffmanTable":
+        """Inverse of :meth:`to_bytes`."""
+        alphabet_size, n_used = struct.unpack_from("<II", payload, 0)
+        lengths = np.zeros(alphabet_size, dtype=np.uint8)
+        offset = 8
+        for _ in range(n_used):
+            sym, length = struct.unpack_from("<IB", payload, offset)
+            offset += 5
+            lengths[sym] = length
+        return cls.from_lengths(lengths)
+
+
+# --------------------------------------------------------------------------- #
+# codec
+# --------------------------------------------------------------------------- #
+class HuffmanCodec:
+    """Encode/decode arrays of non-negative integers with canonical Huffman codes."""
+
+    def __init__(self, max_length: int = MAX_CODE_LENGTH) -> None:
+        if not 1 <= max_length <= 32:
+            raise ValueError("max_length must be in [1, 32]")
+        self.max_length = max_length
+
+    # ------------------------------------------------------------------ #
+    # encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, symbols: np.ndarray, table: Optional[HuffmanTable] = None) -> Tuple[bytes, HuffmanTable]:
+        """Encode ``symbols`` (non-negative ints); returns ``(payload, table)``.
+
+        The payload layout is ``<n_symbols:uint64><n_bits:uint64><bit data>``.
+        """
+        symbols = np.asarray(symbols)
+        if symbols.size == 0:
+            empty = HuffmanTable(lengths=np.zeros(1, dtype=np.uint8), codes=np.zeros(1, dtype=np.uint32))
+            return struct.pack("<QQ", 0, 0), table if table is not None else empty
+        if symbols.ndim != 1:
+            symbols = symbols.ravel()
+        if np.issubdtype(symbols.dtype, np.floating):
+            raise TypeError("Huffman symbols must be integers")
+        if symbols.min() < 0:
+            raise ValueError("Huffman symbols must be non-negative")
+        symbols = symbols.astype(np.int64)
+        alphabet = int(symbols.max()) + 1
+        if table is None:
+            frequencies = np.bincount(symbols, minlength=alphabet)
+            table = HuffmanTable.from_frequencies(frequencies, self.max_length)
+        elif table.alphabet_size < alphabet:
+            raise ValueError(
+                f"supplied table covers {table.alphabet_size} symbols, data needs {alphabet}"
+            )
+
+        lengths = table.lengths[symbols].astype(np.int64)
+        if np.any(lengths == 0):
+            missing = int(symbols[np.argmax(lengths == 0)])
+            raise ValueError(f"symbol {missing} has no code in the supplied table")
+        codes = table.codes[symbols].astype(np.uint32)
+
+        bit_offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        total_bits = int(bit_offsets[-1] + lengths[-1]) if symbols.size else 0
+        buffer = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+
+        max_len = int(lengths.max())
+        for bit in range(max_len):
+            mask = lengths > bit
+            if not np.any(mask):
+                continue
+            # bit index `bit` counts from the MSB of each code word
+            shift = lengths[mask] - 1 - bit
+            bit_values = (codes[mask] >> shift.astype(np.uint32)) & 1
+            set_positions = bit_offsets[mask][bit_values.astype(bool)] + bit
+            byte_index = set_positions // 8
+            bit_in_byte = 7 - (set_positions % 8)
+            np.bitwise_or.at(buffer, byte_index, (1 << bit_in_byte).astype(np.uint8))
+
+        header = struct.pack("<QQ", symbols.size, total_bits)
+        return header + buffer.tobytes(), table
+
+    # ------------------------------------------------------------------ #
+    # decoding
+    # ------------------------------------------------------------------ #
+    def decode(self, payload: bytes, table: HuffmanTable) -> np.ndarray:
+        """Decode a payload produced by :meth:`encode` back to an int64 array."""
+        n_symbols, total_bits = struct.unpack_from("<QQ", payload, 0)
+        if n_symbols == 0:
+            return np.zeros(0, dtype=np.int64)
+        data = payload[16:]
+        if len(data) * 8 < total_bits:
+            raise ValueError("truncated Huffman payload")
+
+        lut_bits = min(max(table.max_length, 1), self.max_length)
+        lut_symbols, lut_lengths = self._build_lut(table, lut_bits)
+
+        out = np.empty(n_symbols, dtype=np.int64)
+        acc = 0
+        n_acc = 0
+        pos = 0
+        data_len = len(data)
+        mask = (1 << lut_bits) - 1
+        lut_sym_list = lut_symbols.tolist()
+        lut_len_list = lut_lengths.tolist()
+        for i in range(n_symbols):
+            while n_acc < lut_bits and pos < data_len:
+                acc = (acc << 8) | data[pos]
+                pos += 1
+                n_acc += 8
+            if n_acc >= lut_bits:
+                window = (acc >> (n_acc - lut_bits)) & mask
+            else:
+                window = (acc << (lut_bits - n_acc)) & mask
+            sym = lut_sym_list[window]
+            length = lut_len_list[window]
+            if length == 0 or length > n_acc:
+                raise ValueError("corrupt Huffman stream")
+            n_acc -= length
+            acc &= (1 << n_acc) - 1
+            out[i] = sym
+        return out
+
+    @staticmethod
+    def _build_lut(table: HuffmanTable, lut_bits: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Build a prefix lookup table mapping every ``lut_bits`` window to (symbol, length)."""
+        size = 1 << lut_bits
+        lut_symbols = np.zeros(size, dtype=np.int64)
+        lut_lengths = np.zeros(size, dtype=np.int64)
+        for sym in np.nonzero(table.lengths)[0]:
+            length = int(table.lengths[sym])
+            if length > lut_bits:  # pragma: no cover - prevented by length limiting
+                raise ValueError("code length exceeds decoder lookup width")
+            code = int(table.codes[sym])
+            prefix = code << (lut_bits - length)
+            count = 1 << (lut_bits - length)
+            lut_symbols[prefix : prefix + count] = sym
+            lut_lengths[prefix : prefix + count] = length
+        return lut_symbols, lut_lengths

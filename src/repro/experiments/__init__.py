@@ -1,0 +1,72 @@
+"""Experiment harness: one runner per table/figure of the paper's evaluation.
+
+Every runner returns a plain-data result object that the benchmark suite (and
+the examples) can print in the same layout the paper reports, so the
+reproduction can be compared side by side with the published numbers.  The
+mapping from paper artefact to runner is:
+
+========  =====================================================
+Artefact  Runner
+========  =====================================================
+Table I   :func:`repro.experiments.runners.run_table1`
+Table II  :func:`repro.experiments.runners.run_table2`
+Table III :func:`repro.experiments.runners.run_table3`
+Figure 1  :func:`repro.experiments.runners.run_figure1`
+Figure 5  :func:`repro.experiments.runners.run_figure5`
+Figure 6  :func:`repro.experiments.runners.run_figure6` (also covers Figure 7)
+Figure 8  :func:`repro.experiments.runners.run_figure8`
+Figure 9  :func:`repro.experiments.runners.run_figure9`
+ablation  :mod:`repro.experiments.ablations`
+========  =====================================================
+"""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    FieldExperiment,
+    TABLE2_EXPERIMENTS,
+    TABLE2_ERROR_BOUNDS,
+    dataset_shapes,
+    default_training_config,
+)
+from repro.experiments.runners import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_figure1,
+    run_figure5,
+    run_figure6,
+    run_figure8,
+    run_figure9,
+)
+from repro.experiments.ablations import (
+    run_dual_quant_ablation,
+    run_predictor_ablation,
+    run_entropy_backend_ablation,
+    run_parallel_block_ablation,
+    run_anchor_selection_ablation,
+)
+from repro.experiments.report import format_table, format_markdown_table
+
+__all__ = [
+    "ExperimentScale",
+    "FieldExperiment",
+    "TABLE2_EXPERIMENTS",
+    "TABLE2_ERROR_BOUNDS",
+    "dataset_shapes",
+    "default_training_config",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure1",
+    "run_figure5",
+    "run_figure6",
+    "run_figure8",
+    "run_figure9",
+    "run_dual_quant_ablation",
+    "run_predictor_ablation",
+    "run_entropy_backend_ablation",
+    "run_parallel_block_ablation",
+    "run_anchor_selection_ablation",
+    "format_table",
+    "format_markdown_table",
+]

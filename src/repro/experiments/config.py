@@ -1,0 +1,167 @@
+"""Experiment configuration: datasets, fields, error bounds and paper reference values.
+
+The paper's evaluation (Section IV) uses three SDRBench datasets, six target
+fields, and value-range-relative error bounds between 5e-3 and 2e-4.  This
+module centralises that configuration, provides three *scales* at which every
+experiment can run (``smoke`` for unit tests, ``default`` for the benchmark
+suite, ``paper`` for full-size runs), and records the numbers published in the
+paper so the harness can print paper-vs-measured comparisons.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.anchors import AnchorSpec, get_anchor_spec
+from repro.core.training import TrainingConfig
+
+__all__ = [
+    "ExperimentScale",
+    "FieldExperiment",
+    "TABLE2_ERROR_BOUNDS",
+    "TABLE2_EXPERIMENTS",
+    "PAPER_TABLE2_BASELINE",
+    "PAPER_TABLE2_OURS",
+    "PAPER_TABLE3_MODEL_SIZES",
+    "PAPER_DATASET_DIMS",
+    "dataset_shapes",
+    "default_training_config",
+    "resolve_scale",
+]
+
+
+class ExperimentScale(str, Enum):
+    """How large the synthetic datasets and training budgets are."""
+
+    SMOKE = "smoke"      #: tiny grids, 1-2 training epochs — unit tests
+    DEFAULT = "default"  #: moderate grids — the benchmark suite
+    PAPER = "paper"      #: the paper's full grid sizes (hours in pure Python)
+
+
+def resolve_scale(scale: Optional[object] = None) -> ExperimentScale:
+    """Resolve a scale argument or the ``REPRO_BENCH_SCALE`` environment variable."""
+    if scale is None:
+        scale = os.environ.get("REPRO_BENCH_SCALE", ExperimentScale.DEFAULT.value)
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return ExperimentScale(str(scale).lower())
+
+
+#: Grid shapes per dataset and scale (the paper's shapes are in Table I).
+_SHAPES: Dict[ExperimentScale, Dict[str, Tuple[int, ...]]] = {
+    ExperimentScale.SMOKE: {
+        "scale": (10, 40, 40),
+        "hurricane": (10, 40, 40),
+        "cesm": (60, 120),
+    },
+    ExperimentScale.DEFAULT: {
+        "scale": (24, 96, 96),
+        "hurricane": (24, 96, 96),
+        "cesm": (300, 600),
+    },
+    ExperimentScale.PAPER: {
+        "scale": (98, 1200, 1200),
+        "hurricane": (100, 500, 500),
+        "cesm": (1800, 3600),
+    },
+}
+
+#: Grid shapes reported in paper Table I.
+PAPER_DATASET_DIMS: Dict[str, Tuple[int, ...]] = {
+    "scale": (98, 1200, 1200),
+    "cesm": (1800, 3600),
+    "hurricane": (100, 500, 500),
+}
+
+#: Dataset descriptions from paper Table I.
+DATASET_DESCRIPTIONS: Dict[str, str] = {
+    "scale": "Climate simulation",
+    "cesm": "Climate simulation",
+    "hurricane": "Weather simulation",
+}
+
+
+def dataset_shapes(scale: Optional[object] = None) -> Dict[str, Tuple[int, ...]]:
+    """Grid shapes to use for every dataset at the requested scale."""
+    return dict(_SHAPES[resolve_scale(scale)])
+
+
+def default_training_config(ndim: int, scale: Optional[object] = None) -> TrainingConfig:
+    """CFNN training budget appropriate for the data dimensionality and scale."""
+    scale = resolve_scale(scale)
+    if scale is ExperimentScale.SMOKE:
+        return TrainingConfig(epochs=2, n_patches=16, batch_size=4, patch_size_2d=16, patch_size_3d=8)
+    if ndim == 2:
+        return TrainingConfig(epochs=24, n_patches=128, learning_rate=4e-3)
+    budget = TrainingConfig(epochs=8, n_patches=64, learning_rate=2e-3)
+    if scale is ExperimentScale.PAPER:
+        budget = TrainingConfig(epochs=20, n_patches=256, learning_rate=2e-3, patch_size_3d=16)
+    return budget
+
+
+#: The error bounds of paper Table II (value-range relative).
+TABLE2_ERROR_BOUNDS: Tuple[float, ...] = (5e-3, 2e-3, 1e-3, 5e-4, 2e-4)
+
+
+@dataclass(frozen=True)
+class FieldExperiment:
+    """One target field of Table II: dataset, anchors and the error bounds evaluated."""
+
+    dataset: str
+    target: str
+    error_bounds: Tuple[float, ...]
+
+    @property
+    def anchor_spec(self) -> AnchorSpec:
+        """The anchor configuration of paper Table III for this target."""
+        return get_anchor_spec(self.dataset, self.target)
+
+    @property
+    def key(self) -> str:
+        """Stable identifier such as ``"scale:RH"``."""
+        return f"{self.dataset}:{self.target}"
+
+
+#: The Table II field/error-bound grid ("/" cells in the paper are omitted).
+TABLE2_EXPERIMENTS: Tuple[FieldExperiment, ...] = (
+    FieldExperiment("scale", "RH", (2e-3, 1e-3, 5e-4, 2e-4)),
+    FieldExperiment("scale", "W", (1e-3, 5e-4, 2e-4)),
+    FieldExperiment("hurricane", "Wf", (2e-3, 1e-3, 5e-4, 2e-4)),
+    FieldExperiment("cesm", "CLDTOT", (5e-3, 2e-3, 1e-3, 5e-4, 2e-4)),
+    FieldExperiment("cesm", "LWCF", (2e-3, 1e-3, 5e-4, 2e-4)),
+    FieldExperiment("cesm", "FLUT", (1e-3, 5e-4, 2e-4)),
+)
+
+
+#: Compression ratios reported in paper Table II for the baseline (SZ3-Lorenzo + dual quant).
+PAPER_TABLE2_BASELINE: Dict[str, Dict[float, float]] = {
+    "scale:RH": {2e-3: 31.15, 1e-3: 25.75, 5e-4: 21.68, 2e-4: 16.14},
+    "scale:W": {1e-3: 27.48, 5e-4: 22.96, 2e-4: 19.29},
+    "hurricane:Wf": {2e-3: 25.13, 1e-3: 18.99, 5e-4: 15.98, 2e-4: 12.55},
+    "cesm:CLDTOT": {5e-3: 27.9, 2e-3: 20.72, 1e-3: 15.73, 5e-4: 11.65, 2e-4: 8.21},
+    "cesm:LWCF": {2e-3: 30.1, 1e-3: 23.64, 5e-4: 18.21, 2e-4: 12.2},
+    "cesm:FLUT": {1e-3: 26.04, 5e-4: 20.68, 2e-4: 14.33},
+}
+
+#: Compression ratios reported in paper Table II for the cross-field method ("Ours").
+PAPER_TABLE2_OURS: Dict[str, Dict[float, float]] = {
+    "scale:RH": {2e-3: 32.44, 1e-3: 26.72, 5e-4: 21.51, 2e-4: 15.6},
+    "scale:W": {1e-3: 27.73, 5e-4: 21.32, 2e-4: 16.28},
+    "hurricane:Wf": {2e-3: 26.03, 1e-3: 22.72, 5e-4: 18.66, 2e-4: 13.72},
+    "cesm:CLDTOT": {5e-3: 28.54, 2e-3: 21.81, 1e-3: 17.15, 5e-4: 12.51, 2e-4: 8.26},
+    "cesm:LWCF": {2e-3: 31.45, 1e-3: 24.29, 5e-4: 20.27, 2e-4: 14.79},
+    "cesm:FLUT": {1e-3: 27.56, 5e-4: 23.49, 2e-4: 18.31},
+}
+
+#: Model sizes (parameter counts) reported in paper Table III.
+PAPER_TABLE3_MODEL_SIZES: Dict[str, Dict[str, int]] = {
+    "scale:RH": {"cfnn": 32871, "hybrid": 5},
+    "scale:W": {"cfnn": 32871, "hybrid": 5},
+    "hurricane:Wf": {"cfnn": 32871, "hybrid": 5},
+    "cesm:CLDTOT": {"cfnn": 5270, "hybrid": 4},
+    "cesm:LWCF": {"cfnn": 4470, "hybrid": 4},
+    "cesm:FLUT": {"cfnn": 6070, "hybrid": 4},
+}

@@ -1,0 +1,47 @@
+"""Plain-text and Markdown table rendering for experiment results.
+
+The benchmark harness prints results in the same row/column layout the paper
+uses so that reproduction and publication can be compared line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    headers = [str(h) for h in headers]
+    string_rows: List[List[str]] = [[_stringify(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    headers = [str(h) for h in headers]
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        lines.append("| " + " | ".join(_stringify(v) for v in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Quality and size metrics used in the paper's evaluation.
+
+Distortion metrics (PSNR, MSE, NRMSE, maximum error), structural similarity
+(SSIM), size metrics (compression ratio, bit rate), rate-distortion curve
+helpers, and cross-field correlation measures.
+"""
+
+from repro.metrics.distortion import mse, rmse, nrmse, psnr, max_abs_error, mean_abs_error
+from repro.metrics.ssim import ssim
+from repro.metrics.ratio import compression_ratio, bit_rate, bit_rate_to_ratio, ratio_to_bit_rate
+from repro.metrics.rate_distortion import RatePoint, RateDistortionCurve
+from repro.metrics.correlation import pearson_correlation, cross_field_correlation_matrix, mutual_information_score
+
+__all__ = [
+    "mse",
+    "rmse",
+    "nrmse",
+    "psnr",
+    "max_abs_error",
+    "mean_abs_error",
+    "ssim",
+    "compression_ratio",
+    "bit_rate",
+    "bit_rate_to_ratio",
+    "ratio_to_bit_rate",
+    "RatePoint",
+    "RateDistortionCurve",
+    "pearson_correlation",
+    "cross_field_correlation_matrix",
+    "mutual_information_score",
+]

@@ -1,0 +1,73 @@
+"""Point-wise distortion metrics for reconstructed data.
+
+PSNR is the primary distortion metric in the paper's rate-distortion figures
+(Figure 8); it follows the SDRBench/SZ convention of normalising by the value
+range of the *original* data rather than a fixed peak value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_array, ensure_shape_match
+
+__all__ = ["mse", "rmse", "nrmse", "psnr", "max_abs_error", "mean_abs_error"]
+
+
+def _pair(original, reconstructed):
+    original = ensure_array(original, "original", dtype=np.float64)
+    reconstructed = ensure_array(reconstructed, "reconstructed", dtype=np.float64)
+    ensure_shape_match(original, reconstructed, "original", "reconstructed")
+    return original, reconstructed
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    original, reconstructed = _pair(original, reconstructed)
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(original, reconstructed)))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """RMSE normalised by the value range of the original data.
+
+    Returns the plain RMSE when the original is constant (zero range).
+    """
+    original, reconstructed = _pair(original, reconstructed)
+    value_range = float(np.max(original) - np.min(original))
+    root = float(np.sqrt(np.mean((original - reconstructed) ** 2)))
+    if value_range == 0.0:
+        return root
+    return root / value_range
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB, SZ/SDRBench convention.
+
+    ``PSNR = 20 * log10(range(original)) - 10 * log10(MSE)``.  Identical arrays
+    return ``inf``.
+    """
+    original, reconstructed = _pair(original, reconstructed)
+    error = mse(original, reconstructed)
+    if error == 0.0:
+        return float("inf")
+    value_range = float(np.max(original) - np.min(original))
+    if value_range == 0.0:
+        value_range = 1.0
+    return float(20.0 * np.log10(value_range) - 10.0 * np.log10(error))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Maximum point-wise absolute error (the quantity the error bound constrains)."""
+    original, reconstructed = _pair(original, reconstructed)
+    return float(np.max(np.abs(original - reconstructed)))
+
+
+def mean_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean point-wise absolute error."""
+    original, reconstructed = _pair(original, reconstructed)
+    return float(np.mean(np.abs(original - reconstructed)))

@@ -1,0 +1,110 @@
+"""Rate-distortion curve containers (paper Figure 8).
+
+A rate-distortion curve collects (bit-rate, PSNR) points measured at different
+error bounds for one compressor on one field.  The container keeps the points
+sorted by bit rate, can interpolate PSNR at a given rate (for matched-rate
+comparisons such as paper Figure 9), and can be rendered as the text series the
+benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["RatePoint", "RateDistortionCurve"]
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """A single rate-distortion measurement."""
+
+    bit_rate: float
+    psnr: float
+    error_bound: float = float("nan")
+    compression_ratio: float = float("nan")
+    ssim: float = float("nan")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for report serialization."""
+        return {
+            "bit_rate": self.bit_rate,
+            "psnr": self.psnr,
+            "error_bound": self.error_bound,
+            "compression_ratio": self.compression_ratio,
+            "ssim": self.ssim,
+        }
+
+
+@dataclass
+class RateDistortionCurve:
+    """Named collection of :class:`RatePoint`, kept sorted by bit rate."""
+
+    label: str
+    points: List[RatePoint] = field(default_factory=list)
+
+    def add(self, point: RatePoint) -> None:
+        """Insert a point, keeping the curve sorted by bit rate."""
+        self.points.append(point)
+        self.points.sort(key=lambda p: p.bit_rate)
+
+    def add_measurement(
+        self,
+        bit_rate: float,
+        psnr: float,
+        error_bound: float = float("nan"),
+        compression_ratio: float = float("nan"),
+        ssim: float = float("nan"),
+    ) -> None:
+        """Convenience wrapper building the :class:`RatePoint` inline."""
+        self.add(RatePoint(bit_rate, psnr, error_bound, compression_ratio, ssim))
+
+    @property
+    def bit_rates(self) -> np.ndarray:
+        """Bit rates in ascending order."""
+        return np.array([p.bit_rate for p in self.points], dtype=np.float64)
+
+    @property
+    def psnrs(self) -> np.ndarray:
+        """PSNR values matching :attr:`bit_rates`."""
+        return np.array([p.psnr for p in self.points], dtype=np.float64)
+
+    def psnr_at(self, bit_rate: float) -> float:
+        """PSNR linearly interpolated at ``bit_rate`` (clamped to the range)."""
+        if not self.points:
+            raise ValueError("curve has no points")
+        rates = self.bit_rates
+        values = self.psnrs
+        return float(np.interp(bit_rate, rates, values))
+
+    def average_psnr_gain_over(self, other: "RateDistortionCurve") -> float:
+        """Mean PSNR difference (self - other) over the shared bit-rate range.
+
+        This is the Bjøntegaard-style summary used to compare the "ours" and
+        "baseline" curves of paper Figure 8.  When the two curves do not overlap
+        in bit rate, the comparison falls back to clamped interpolation over the
+        union of both ranges (each curve is evaluated at its nearest endpoint
+        outside its own range).
+        """
+        if not self.points or not other.points:
+            raise ValueError("both curves need at least one point")
+        lo = max(self.bit_rates.min(), other.bit_rates.min())
+        hi = min(self.bit_rates.max(), other.bit_rates.max())
+        if hi <= lo:
+            lo = min(self.bit_rates.min(), other.bit_rates.min())
+            hi = max(self.bit_rates.max(), other.bit_rates.max())
+        grid = np.linspace(lo, hi, 64)
+        return float(np.mean([self.psnr_at(r) - other.psnr_at(r) for r in grid]))
+
+    def to_table(self) -> List[Dict[str, float]]:
+        """List of per-point dictionaries (report serialization)."""
+        return [p.as_dict() for p in self.points]
+
+    def format(self) -> str:
+        """Text rendering of the series, one ``bit_rate psnr`` pair per line."""
+        lines = [f"# {self.label}"]
+        for p in self.points:
+            lines.append(f"{p.bit_rate:8.4f}  {p.psnr:8.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Size metrics: compression ratio and bit rate.
+
+The paper reports both interchangeably (Section II-A): the compression ratio is
+``original bytes / compressed bytes`` and the bit rate is the average number of
+compressed bits per data point (32 bits per value for uncompressed
+single-precision data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+__all__ = ["compression_ratio", "bit_rate", "bit_rate_to_ratio", "ratio_to_bit_rate"]
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Ratio between original and compressed sizes (higher is better)."""
+    ensure_positive(original_nbytes, "original_nbytes")
+    ensure_positive(compressed_nbytes, "compressed_nbytes")
+    return float(original_nbytes) / float(compressed_nbytes)
+
+
+def bit_rate(compressed_nbytes: int, element_count: int) -> float:
+    """Average compressed bits per data point."""
+    ensure_positive(compressed_nbytes, "compressed_nbytes")
+    ensure_positive(element_count, "element_count")
+    return 8.0 * float(compressed_nbytes) / float(element_count)
+
+
+def bit_rate_to_ratio(rate: float, element_bits: int = 32) -> float:
+    """Convert a bit rate into a compression ratio for ``element_bits`` inputs."""
+    ensure_positive(rate, "rate")
+    ensure_positive(element_bits, "element_bits")
+    return float(element_bits) / float(rate)
+
+
+def ratio_to_bit_rate(ratio: float, element_bits: int = 32) -> float:
+    """Convert a compression ratio into a bit rate for ``element_bits`` inputs."""
+    ensure_positive(ratio, "ratio")
+    ensure_positive(element_bits, "element_bits")
+    return float(element_bits) / float(ratio)

@@ -1,0 +1,200 @@
+"""Core tensor operations for the NumPy NN substrate.
+
+Implements N-dimensional (2D and 3D) cross-correlation ("convolution" in deep
+learning parlance) with stride 1 and symmetric zero padding, plus its backward
+pass, using ``numpy.lib.stride_tricks.sliding_window_view`` so the forward pass
+is a single tensor contraction.  Depthwise (per-channel) convolution has its own
+pair of functions because its contraction pattern differs.
+
+All functions operate on ``(batch, channels, *spatial)`` arrays in float64.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "pad_spatial",
+    "conv_forward",
+    "conv_backward",
+    "depthwise_conv_forward",
+    "depthwise_conv_backward",
+    "sigmoid",
+    "relu",
+]
+
+
+def pad_spatial(x: np.ndarray, padding: Sequence[int]) -> np.ndarray:
+    """Zero-pad the spatial dimensions of a ``(N, C, *S)`` tensor symmetrically."""
+    pads = [(0, 0), (0, 0)] + [(int(p), int(p)) for p in padding]
+    if all(p == 0 for p in padding):
+        return x
+    return np.pad(x, pads)
+
+
+def _check_conv_args(x: np.ndarray, kernel_spatial: Tuple[int, ...], padding: Sequence[int]):
+    spatial = x.ndim - 2
+    if spatial not in (1, 2, 3):
+        raise ValueError(f"convolutions support 1-3 spatial dimensions, got {spatial}")
+    if len(kernel_spatial) != spatial:
+        raise ValueError("kernel rank does not match input rank")
+    if len(padding) != spatial:
+        raise ValueError("padding must provide one value per spatial dimension")
+    for size, k, p in zip(x.shape[2:], kernel_spatial, padding):
+        if size + 2 * p < k:
+            raise ValueError(
+                f"spatial size {size} with padding {p} is smaller than kernel size {k}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# standard convolution
+# --------------------------------------------------------------------------- #
+def conv_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    padding: Sequence[int],
+) -> Tuple[np.ndarray, Tuple]:
+    """Cross-correlate ``x`` (N, Cin, *S) with ``weight`` (Cout, Cin, *K), stride 1.
+
+    Returns ``(output, cache)`` where the cache carries what
+    :func:`conv_backward` needs.
+    """
+    kernel_spatial = weight.shape[2:]
+    _check_conv_args(x, kernel_spatial, padding)
+    spatial = x.ndim - 2
+    xp = pad_spatial(x, padding)
+    windows = sliding_window_view(xp, kernel_spatial, axis=tuple(range(2, 2 + spatial)))
+    # windows: (N, Cin, *S_out, *K)
+    contract_windows = (1,) + tuple(range(2 + spatial, 2 + 2 * spatial))
+    contract_weight = (1,) + tuple(range(2, 2 + spatial))
+    out = np.tensordot(windows, weight, axes=(contract_windows, contract_weight))
+    # out: (N, *S_out, Cout) -> (N, Cout, *S_out)
+    out = np.moveaxis(out, -1, 1)
+    if bias is not None:
+        out = out + bias.reshape((1, -1) + (1,) * spatial)
+    cache = (x.shape, xp, windows, weight, tuple(int(p) for p in padding))
+    return np.ascontiguousarray(out), cache
+
+
+def conv_backward(
+    grad_output: np.ndarray, cache: Tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`conv_forward`.
+
+    Returns ``(grad_input, grad_weight, grad_bias)``.
+    """
+    x_shape, xp, windows, weight, padding = cache
+    spatial = len(x_shape) - 2
+    out_spatial = grad_output.shape[2:]
+
+    grad_bias = grad_output.sum(axis=(0,) + tuple(range(2, 2 + spatial)))
+
+    # grad_weight: contract batch and output-spatial dims of grad_output / windows
+    axes_g = (0,) + tuple(range(2, 2 + spatial))
+    axes_w = (0,) + tuple(range(2, 2 + spatial))
+    grad_weight = np.tensordot(grad_output, windows, axes=(axes_g, axes_w))
+    # result: (Cout, Cin, *K)
+
+    # grad_input: scatter each kernel offset's contribution back onto the padded grid
+    grad_xp = np.zeros_like(xp)
+    kernel_spatial = weight.shape[2:]
+    for offset in np.ndindex(*kernel_spatial):
+        w_slice = weight[(slice(None), slice(None)) + offset]  # (Cout, Cin)
+        contrib = np.tensordot(grad_output, w_slice, axes=([1], [0]))  # (N, *S_out, Cin)
+        contrib = np.moveaxis(contrib, -1, 1)
+        slices = (slice(None), slice(None)) + tuple(
+            slice(o, o + s) for o, s in zip(offset, out_spatial)
+        )
+        grad_xp[slices] += contrib
+    unpad = (slice(None), slice(None)) + tuple(
+        slice(p, p + s) for p, s in zip(padding, x_shape[2:])
+    )
+    grad_input = grad_xp[unpad]
+    return np.ascontiguousarray(grad_input), grad_weight, grad_bias
+
+
+# --------------------------------------------------------------------------- #
+# depthwise convolution
+# --------------------------------------------------------------------------- #
+def depthwise_conv_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    padding: Sequence[int],
+) -> Tuple[np.ndarray, Tuple]:
+    """Depthwise cross-correlation: ``weight`` has shape (C, *K), one filter per channel."""
+    kernel_spatial = weight.shape[1:]
+    _check_conv_args(x, kernel_spatial, padding)
+    spatial = x.ndim - 2
+    channels = x.shape[1]
+    if weight.shape[0] != channels:
+        raise ValueError(f"weight covers {weight.shape[0]} channels, input has {channels}")
+    xp = pad_spatial(x, padding)
+    windows = sliding_window_view(xp, kernel_spatial, axis=tuple(range(2, 2 + spatial)))
+    # windows: (N, C, *S_out, *K); contract the kernel dims against weight per channel
+    if spatial == 2:
+        out = np.einsum("ncabij,cij->ncab", windows, weight, optimize=True)
+    elif spatial == 3:
+        out = np.einsum("ncabdijk,cijk->ncabd", windows, weight, optimize=True)
+    else:  # spatial == 1
+        out = np.einsum("ncai,ci->nca", windows, weight, optimize=True)
+    if bias is not None:
+        out = out + bias.reshape((1, -1) + (1,) * spatial)
+    cache = (x.shape, xp, windows, weight, tuple(int(p) for p in padding))
+    return np.ascontiguousarray(out), cache
+
+
+def depthwise_conv_backward(
+    grad_output: np.ndarray, cache: Tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`depthwise_conv_forward`."""
+    x_shape, xp, windows, weight, padding = cache
+    spatial = len(x_shape) - 2
+    out_spatial = grad_output.shape[2:]
+
+    grad_bias = grad_output.sum(axis=(0,) + tuple(range(2, 2 + spatial)))
+
+    if spatial == 2:
+        grad_weight = np.einsum("ncabij,ncab->cij", windows, grad_output, optimize=True)
+    elif spatial == 3:
+        grad_weight = np.einsum("ncabdijk,ncabd->cijk", windows, grad_output, optimize=True)
+    else:
+        grad_weight = np.einsum("ncai,nca->ci", windows, grad_output, optimize=True)
+
+    grad_xp = np.zeros_like(xp)
+    kernel_spatial = weight.shape[1:]
+    for offset in np.ndindex(*kernel_spatial):
+        w_slice = weight[(slice(None),) + offset]  # (C,)
+        contrib = grad_output * w_slice.reshape((1, -1) + (1,) * spatial)
+        slices = (slice(None), slice(None)) + tuple(
+            slice(o, o + s) for o, s in zip(offset, out_spatial)
+        )
+        grad_xp[slices] += contrib
+    unpad = (slice(None), slice(None)) + tuple(
+        slice(p, p + s) for p, s in zip(padding, x_shape[2:])
+    )
+    grad_input = grad_xp[unpad]
+    return np.ascontiguousarray(grad_input), grad_weight, grad_bias
+
+
+# --------------------------------------------------------------------------- #
+# activations (stateless helpers)
+# --------------------------------------------------------------------------- #
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)

@@ -1,0 +1,66 @@
+"""Model parameter (de)serialisation and size accounting.
+
+The compressed stream has to embed the CFNN and hybrid-model parameters (the
+paper counts them against the compressed size and reports them in Table III),
+so models must serialise to a compact, self-describing byte string: a JSON
+header with parameter names/shapes followed by raw ``float32`` data.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["state_to_bytes", "state_from_bytes", "count_parameters", "parameter_nbytes"]
+
+
+def count_parameters(model: Module) -> int:
+    """Number of scalar trainable parameters in ``model``."""
+    return model.num_parameters()
+
+
+def parameter_nbytes(model: Module, dtype=np.float32) -> int:
+    """Bytes required to store the raw parameters of ``model`` in ``dtype``."""
+    return count_parameters(model) * np.dtype(dtype).itemsize
+
+
+def state_to_bytes(model: Module, dtype=np.float32) -> bytes:
+    """Serialise a model's parameters: JSON header + packed raw values."""
+    state = model.state_dict()
+    header = {
+        "dtype": np.dtype(dtype).name,
+        "params": [
+            {"name": name, "shape": list(np.asarray(value).shape)}
+            for name, value in state.items()
+        ],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    body = b"".join(np.asarray(value, dtype=dtype).tobytes() for value in state.values())
+    return struct.pack("<I", len(header_bytes)) + header_bytes + body
+
+
+def state_from_bytes(model: Module, payload: bytes) -> Module:
+    """Load parameters serialised by :func:`state_to_bytes` into ``model`` (in place)."""
+    if len(payload) < 4:
+        raise ValueError("payload too small to contain a model state header")
+    (header_len,) = struct.unpack_from("<I", payload, 0)
+    header = json.loads(payload[4 : 4 + header_len].decode("utf-8"))
+    dtype = np.dtype(header["dtype"])
+    offset = 4 + header_len
+    state: Dict[str, np.ndarray] = {}
+    for entry in header["params"]:
+        shape = tuple(int(s) for s in entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        chunk = payload[offset : offset + nbytes]
+        if len(chunk) != nbytes:
+            raise ValueError(f"truncated state payload for parameter {entry['name']!r}")
+        state[entry["name"]] = np.frombuffer(chunk, dtype=dtype).reshape(shape).astype(np.float64)
+        offset += nbytes
+    model.load_state_dict(state)
+    return model

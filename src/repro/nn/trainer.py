@@ -1,0 +1,178 @@
+"""Mini-batch training loop.
+
+A small, dependency-free trainer that drives a :class:`~repro.nn.module.Module`
+through epochs of shuffled mini-batches, records the loss history (used to
+reproduce the training-loss curves of paper Figure 5), and supports optional
+validation data and gradient clipping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.loss import MSELoss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.utils.logging import get_logger
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+logger = get_logger("nn.trainer")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of training (and optionally validation) loss."""
+
+    epochs: List[int] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    def record(self, epoch: int, train: float, val: Optional[float], seconds: float) -> None:
+        """Append one epoch's measurements."""
+        self.epochs.append(int(epoch))
+        self.train_loss.append(float(train))
+        if val is not None:
+            self.val_loss.append(float(val))
+        self.epoch_seconds.append(float(seconds))
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss of the last epoch."""
+        if not self.train_loss:
+            raise ValueError("history is empty")
+        return self.train_loss[-1]
+
+    @property
+    def best_loss(self) -> float:
+        """Lowest training loss over all epochs."""
+        if not self.train_loss:
+            raise ValueError("history is empty")
+        return float(min(self.train_loss))
+
+    def improved(self) -> bool:
+        """Whether the final loss is lower than the first epoch's loss."""
+        return len(self.train_loss) >= 2 and self.train_loss[-1] < self.train_loss[0]
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Serialisable dictionary (used by experiment reports)."""
+        return {
+            "epochs": list(self.epochs),
+            "train_loss": list(self.train_loss),
+            "val_loss": list(self.val_loss),
+            "epoch_seconds": list(self.epoch_seconds),
+        }
+
+
+class Trainer:
+    """Drives mini-batch gradient training of a model.
+
+    Parameters
+    ----------
+    model:
+        Module mapping an input batch to a prediction batch.
+    optimizer:
+        Optimizer constructed over ``model.parameters()``.
+    loss:
+        Loss object with ``forward(prediction, target)`` and ``backward()``.
+    batch_size:
+        Mini-batch size.
+    clip_grad_norm:
+        Optional global gradient-norm clip applied before every update.
+    rng:
+        Random generator controlling shuffling (pass a seeded generator for
+        reproducible training).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss: Optional[MSELoss] = None,
+        batch_size: int = 8,
+        shuffle: bool = True,
+        clip_grad_norm: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.optimizer = optimizer
+        self.loss = loss if loss is not None else MSELoss()
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.clip_grad_norm = clip_grad_norm
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------ #
+    def _iterate_batches(self, n_samples: int):
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, n_samples, self.batch_size):
+            yield indices[start : start + self.batch_size]
+
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Average loss of the model on ``(inputs, targets)`` without updates."""
+        total = 0.0
+        count = 0
+        for batch in self._iterate_batches(inputs.shape[0]):
+            prediction = self.model(inputs[batch])
+            total += self.loss(prediction, targets[batch]) * batch.size
+            count += batch.size
+        return total / max(count, 1)
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        epochs: int = 10,
+        validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the loss history."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError("inputs and targets must have the same number of samples")
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+
+        history = TrainingHistory()
+        for epoch in range(1, epochs + 1):
+            start = time.perf_counter()
+            epoch_loss = 0.0
+            seen = 0
+            for batch in self._iterate_batches(inputs.shape[0]):
+                x = inputs[batch]
+                y = targets[batch]
+                self.optimizer.zero_grad()
+                prediction = self.model(x)
+                batch_loss = self.loss(prediction, y)
+                grad = self.loss.backward()
+                self.model.backward(grad)
+                if self.clip_grad_norm is not None:
+                    self.optimizer.clip_gradients(self.clip_grad_norm)
+                self.optimizer.step()
+                epoch_loss += batch_loss * batch.size
+                seen += batch.size
+            train_loss = epoch_loss / max(seen, 1)
+            val_loss = None
+            if validation is not None:
+                val_loss = self.evaluate(
+                    np.asarray(validation[0], dtype=np.float64),
+                    np.asarray(validation[1], dtype=np.float64),
+                )
+            elapsed = time.perf_counter() - start
+            history.record(epoch, train_loss, val_loss, elapsed)
+            if verbose:
+                message = f"epoch {epoch:3d}/{epochs}  loss {train_loss:.6f}"
+                if val_loss is not None:
+                    message += f"  val {val_loss:.6f}"
+                logger.info(message)
+        return history

@@ -1,0 +1,18 @@
+"""Block-parallel compression.
+
+Dual quantization removes the read-after-write dependency from the compression
+path (paper Section III-D1), which is what makes it possible to compress
+independent blocks of a field concurrently.  This package provides the block
+decomposition and a thread/process-pool executor that compresses and
+decompresses blocks in parallel while preserving the per-point error bound.
+"""
+
+from repro.parallel.blocks import BlockSpec, plan_blocks
+from repro.parallel.executor import BlockParallelCompressor, BlockCompressionResult
+
+__all__ = [
+    "BlockSpec",
+    "plan_blocks",
+    "BlockParallelCompressor",
+    "BlockCompressionResult",
+]

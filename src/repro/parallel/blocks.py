@@ -1,0 +1,64 @@
+"""Block decomposition planning for parallel compression."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.slicing import iter_blocks
+
+__all__ = ["BlockSpec", "plan_blocks"]
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One block of a larger grid: its index and the slices selecting it."""
+
+    index: int
+    slices: Tuple[slice, ...]
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the block."""
+        return tuple(s.stop - s.start for s in self.slices)
+
+    @property
+    def size(self) -> int:
+        """Number of points in the block."""
+        return int(np.prod(self.shape))
+
+    def extract(self, data: np.ndarray) -> np.ndarray:
+        """Copy this block out of ``data``."""
+        return np.ascontiguousarray(data[self.slices])
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (stored in the container metadata)."""
+        return {
+            "index": int(self.index),
+            "start": [int(s.start) for s in self.slices],
+            "stop": [int(s.stop) for s in self.slices],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BlockSpec":
+        """Inverse of :meth:`to_dict`."""
+        slices = tuple(slice(int(a), int(b)) for a, b in zip(payload["start"], payload["stop"]))
+        return cls(index=int(payload["index"]), slices=slices)
+
+
+def plan_blocks(shape: Sequence[int], block_shape: Sequence[int]) -> List[BlockSpec]:
+    """Tile ``shape`` with blocks of at most ``block_shape`` and return the plan.
+
+    The plan is deterministic (C order), so compressing the blocks in any order
+    and reassembling them by index reproduces the original layout.
+    """
+    shape = tuple(int(s) for s in shape)
+    block_shape = tuple(int(b) for b in block_shape)
+    if len(block_shape) != len(shape):
+        raise ValueError("block_shape rank must match data rank")
+    specs = [
+        BlockSpec(index=i, slices=slices) for i, slices in enumerate(iter_blocks(shape, block_shape))
+    ]
+    return specs

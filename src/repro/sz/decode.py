@@ -1,0 +1,215 @@
+"""Decoders for the weighted (hybrid) prediction recurrence.
+
+The hybrid prediction model combines the Lorenzo prediction with the per-axis
+cross-field predictions through a learned weighted sum (paper Section III-C).
+During compression the prediction can be evaluated for all points at once
+(dual quantization makes every prequantized value available), but during
+decompression the prediction of point ``(i, j)`` needs the already-decoded
+values at ``(i-1, j)``, ``(i, j-1)``, ``(i-1, j-1)`` — a recurrence.
+
+Two exact decoders are provided:
+
+- :func:`decode_weighted_sequential` — straightforward nested loops; the
+  readable reference used for correctness tests.
+- :func:`decode_weighted_wavefront` — processes anti-diagonal wavefronts
+  (all points with equal coordinate sum) in vectorised NumPy steps; every
+  dependency of a wavefront lies on earlier wavefronts, so the result is
+  bit-identical to the sequential decoder while being orders of magnitude
+  faster in Python.
+
+Both accept arbitrary weights, so the pure-Lorenzo baseline (weights
+``[1, 0, ..., 0]``) and the full hybrid model share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_ndim
+
+__all__ = [
+    "weighted_predict_full",
+    "decode_weighted_sequential",
+    "decode_weighted_wavefront",
+]
+
+
+def _check_inputs(
+    residuals: np.ndarray,
+    diff_codes: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> Tuple[np.ndarray, List[np.ndarray], np.ndarray]:
+    residuals = np.asarray(residuals)
+    if not np.issubdtype(residuals.dtype, np.integer):
+        raise TypeError("residuals must be integer lattice codes")
+    ensure_ndim(residuals, (1, 2, 3), "residuals")
+    ndim = residuals.ndim
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (ndim + 1,):
+        raise ValueError(f"weights must have length ndim+1 = {ndim + 1}, got {weights.shape}")
+    diffs: List[np.ndarray] = []
+    if len(diff_codes) != ndim:
+        raise ValueError(f"expected {ndim} cross-field difference arrays, got {len(diff_codes)}")
+    for d, diff in enumerate(diff_codes):
+        diff = np.asarray(diff)
+        if diff.shape != residuals.shape:
+            raise ValueError(
+                f"diff_codes[{d}] has shape {diff.shape}, expected {residuals.shape}"
+            )
+        if not np.issubdtype(diff.dtype, np.integer):
+            raise TypeError("cross-field difference codes must be integers")
+        diffs.append(diff.astype(np.int64))
+    return residuals.astype(np.int64), diffs, weights
+
+
+def _lorenzo_terms(ndim: int) -> List[Tuple[Tuple[int, ...], int]]:
+    """Offsets (1 = previous index along that axis) and signs of the Lorenzo sum."""
+    terms = []
+    for mask in range(1, 1 << ndim):
+        offsets = tuple((mask >> d) & 1 for d in range(ndim))
+        sign = -1 if (sum(offsets) % 2 == 0) else 1
+        terms.append((offsets, sign))
+    return terms
+
+
+# --------------------------------------------------------------------------- #
+# full-array prediction (compression side)
+# --------------------------------------------------------------------------- #
+def weighted_predict_full(
+    codes: np.ndarray,
+    diff_codes: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """Hybrid prediction of every point from the *known* prequantized array.
+
+    ``prediction = w_0 * lorenzo + sum_d w_{d+1} * (previous-along-d + diff_d)``,
+    rounded to the nearest integer.  This is the compression-side counterpart of
+    the decoders below; dual quantization guarantees the decoder sees the same
+    neighbour values, hence the same predictions.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    residual_like, diffs, weights = _check_inputs(codes, diff_codes, weights)
+    shape = codes.shape
+    ndim = codes.ndim
+    padded = np.zeros(tuple(s + 1 for s in shape), dtype=np.int64)
+    padded[tuple(slice(1, None) for _ in shape)] = codes
+
+    def shifted(offsets):
+        index = tuple(slice(1 - off, 1 - off + size) for off, size in zip(offsets, shape))
+        return padded[index]
+
+    prediction = np.zeros(shape, dtype=np.float64)
+    if weights[0] != 0.0:
+        lorenzo = np.zeros(shape, dtype=np.int64)
+        for offsets, sign in _lorenzo_terms(ndim):
+            lorenzo += sign * shifted(offsets)
+        prediction += weights[0] * lorenzo
+    for d in range(ndim):
+        if weights[d + 1] == 0.0:
+            continue
+        offsets = tuple(1 if axis == d else 0 for axis in range(ndim))
+        prediction += weights[d + 1] * (shifted(offsets) + diffs[d])
+    return np.rint(prediction).astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# sequential reference decoder
+# --------------------------------------------------------------------------- #
+def decode_weighted_sequential(
+    residuals: np.ndarray,
+    diff_codes: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """Reference decoder: reconstruct codes point by point in C order."""
+    residuals, diffs, weights = _check_inputs(residuals, diff_codes, weights)
+    shape = residuals.shape
+    ndim = residuals.ndim
+    padded = np.zeros(tuple(s + 1 for s in shape), dtype=np.int64)
+    terms = _lorenzo_terms(ndim)
+
+    for index in np.ndindex(*shape):
+        pindex = tuple(i + 1 for i in index)
+        prediction = 0.0
+        if weights[0] != 0.0:
+            lorenzo = 0
+            for offsets, sign in terms:
+                neighbour = tuple(p - off for p, off in zip(pindex, offsets))
+                lorenzo += sign * padded[neighbour]
+            prediction += weights[0] * lorenzo
+        for d in range(ndim):
+            if weights[d + 1] == 0.0:
+                continue
+            neighbour = tuple(p - (1 if axis == d else 0) for axis, p in enumerate(pindex))
+            prediction += weights[d + 1] * (padded[neighbour] + diffs[d][index])
+        padded[pindex] = int(np.rint(prediction)) + residuals[index]
+    return padded[tuple(slice(1, None) for _ in shape)].copy()
+
+
+# --------------------------------------------------------------------------- #
+# wavefront (anti-diagonal) vectorised decoder
+# --------------------------------------------------------------------------- #
+def decode_weighted_wavefront(
+    residuals: np.ndarray,
+    diff_codes: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """Vectorised exact decoder processing anti-diagonal wavefronts.
+
+    Every point ``(i_0, …, i_{n-1})`` only depends on points whose coordinate
+    sum is strictly smaller, so all points with equal coordinate sum can be
+    reconstructed simultaneously.  The number of sequential steps drops from
+    ``prod(shape)`` to ``sum(shape) - ndim + 1``.
+    """
+    residuals, diffs, weights = _check_inputs(residuals, diff_codes, weights)
+    shape = residuals.shape
+    ndim = residuals.ndim
+
+    padded_shape = tuple(s + 1 for s in shape)
+    padded = np.zeros(padded_shape, dtype=np.int64)
+    padded_flat = padded.reshape(-1)
+    padded_strides = [int(np.prod(padded_shape[d + 1 :])) for d in range(ndim)]
+
+    coords = np.indices(shape).reshape(ndim, -1)
+    sums = coords.sum(axis=0)
+    order = np.argsort(sums, kind="stable")
+    sorted_sums = sums[order]
+    # boundaries of each wavefront inside `order`
+    boundaries = np.searchsorted(sorted_sums, np.arange(sorted_sums[-1] + 2))
+
+    orig_flat = np.ravel_multi_index(tuple(coords), shape)
+    padded_flat_index = np.ravel_multi_index(tuple(coords + 1), padded_shape)
+
+    residual_flat = residuals.reshape(-1)
+    diff_flats = [d.reshape(-1) for d in diffs]
+    terms = _lorenzo_terms(ndim)
+    lorenzo_offsets = [
+        (sum(off * stride for off, stride in zip(offsets, padded_strides)), sign)
+        for offsets, sign in terms
+    ]
+    axis_offsets = [padded_strides[d] for d in range(ndim)]
+
+    n_waves = int(sorted_sums[-1]) + 1
+    for wave in range(n_waves):
+        start, stop = boundaries[wave], boundaries[wave + 1]
+        if start == stop:
+            continue
+        sel = order[start:stop]
+        pidx = padded_flat_index[sel]
+        oidx = orig_flat[sel]
+        prediction = np.zeros(sel.shape[0], dtype=np.float64)
+        if weights[0] != 0.0:
+            lorenzo = np.zeros(sel.shape[0], dtype=np.int64)
+            for offset, sign in lorenzo_offsets:
+                lorenzo += sign * padded_flat[pidx - offset]
+            prediction += weights[0] * lorenzo
+        for d in range(ndim):
+            if weights[d + 1] == 0.0:
+                continue
+            prediction += weights[d + 1] * (
+                padded_flat[pidx - axis_offsets[d]] + diff_flats[d][oidx]
+            )
+        padded_flat[pidx] = np.rint(prediction).astype(np.int64) + residual_flat[oidx]
+
+    return padded[tuple(slice(1, None) for _ in shape)].copy()

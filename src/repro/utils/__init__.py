@@ -1,0 +1,28 @@
+"""Shared utilities: argument validation, lightweight logging, and timing helpers.
+
+These helpers are intentionally dependency-free (NumPy only) so that every other
+subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.validation import (
+    ensure_array,
+    ensure_dtype,
+    ensure_positive,
+    ensure_in,
+    ensure_shape_match,
+    ensure_ndim,
+)
+from repro.utils.timing import Timer, timed
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "ensure_array",
+    "ensure_dtype",
+    "ensure_positive",
+    "ensure_in",
+    "ensure_shape_match",
+    "ensure_ndim",
+    "Timer",
+    "timed",
+    "get_logger",
+]

@@ -1,0 +1,31 @@
+"""Minimal logging configuration for the library.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so applications embedding it stay in control of log output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_BASE_NAME = "repro"
+
+logging.getLogger(_BASE_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix (e.g. ``"sz.pipeline"``).  ``None`` returns the base
+        library logger.
+    """
+    if name is None or name == _BASE_NAME:
+        return logging.getLogger(_BASE_NAME)
+    if name.startswith(_BASE_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_BASE_NAME}.{name}")

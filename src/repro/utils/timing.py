@@ -1,0 +1,78 @@
+"""Timing helpers for throughput accounting in the compression pipeline."""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer with named sections.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("quantize"):
+    ...     pass
+    >>> "quantize" in t.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _stack: List[tuple] = field(default_factory=list)
+
+    def section(self, name: str):
+        """Return a context manager accumulating time under ``name``."""
+        timer = self
+
+        class _Section:
+            def __enter__(self_inner):
+                timer._stack.append((name, time.perf_counter()))
+                return timer
+
+            def __exit__(self_inner, exc_type, exc, tb):
+                start_name, start = timer._stack.pop()
+                elapsed = time.perf_counter() - start
+                timer.totals[start_name] = timer.totals.get(start_name, 0.0) + elapsed
+                timer.counts[start_name] = timer.counts.get(start_name, 0) + 1
+                return False
+
+        return _Section()
+
+    def total(self, name: str) -> float:
+        """Total accumulated seconds for section ``name`` (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Clear all accumulated sections."""
+        self.totals.clear()
+        self.counts.clear()
+        self._stack.clear()
+
+    def summary(self) -> str:
+        """Human readable multi-line summary sorted by total time."""
+        lines = []
+        for name, total in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            count = self.counts.get(name, 0)
+            lines.append(f"{name:<30s} {total:10.4f} s  ({count} calls)")
+        return "\n".join(lines)
+
+
+def timed(func: Callable) -> Callable:
+    """Decorator attaching the last call's wall-clock time as ``.last_elapsed``."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        wrapper.last_elapsed = time.perf_counter() - start
+        return result
+
+    wrapper.last_elapsed = 0.0
+    return wrapper

@@ -1,0 +1,114 @@
+"""Argument validation helpers used across the compression pipeline.
+
+The compressors operate on large floating point arrays where silent dtype or
+shape mismatches produce subtly wrong compression ratios rather than crashes.
+Centralising the checks keeps the error messages consistent and the call sites
+short.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ensure_array",
+    "ensure_dtype",
+    "ensure_positive",
+    "ensure_in",
+    "ensure_shape_match",
+    "ensure_ndim",
+]
+
+
+def ensure_array(data, name: str = "data", dtype=None, copy: bool = False) -> np.ndarray:
+    """Convert ``data`` to a C-contiguous :class:`numpy.ndarray`.
+
+    Parameters
+    ----------
+    data:
+        Any array-like object.
+    name:
+        Name used in error messages.
+    dtype:
+        Optional dtype to cast to.  When ``None`` the input dtype is kept for
+        floating point inputs and promoted to ``float64`` for everything else.
+    copy:
+        Force a copy even when the input is already an ndarray of the right
+        dtype.
+
+    Returns
+    -------
+    numpy.ndarray
+        A contiguous array.
+
+    Raises
+    ------
+    TypeError
+        If ``data`` cannot be converted to a numeric array.
+    ValueError
+        If the resulting array has zero size.
+    """
+    try:
+        arr = np.asarray(data)
+    except Exception as exc:  # pragma: no cover - defensive
+        raise TypeError(f"{name} cannot be converted to an ndarray: {exc}") from exc
+    if arr.dtype == object:
+        raise TypeError(f"{name} must be numeric, got object dtype")
+    if dtype is None:
+        if not np.issubdtype(arr.dtype, np.floating):
+            dtype = np.float64
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=copy)
+    elif copy:
+        arr = arr.copy()
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    return np.ascontiguousarray(arr)
+
+
+def ensure_dtype(arr: np.ndarray, dtypes: Iterable, name: str = "array") -> np.ndarray:
+    """Check that ``arr.dtype`` is one of ``dtypes``."""
+    dtypes = tuple(np.dtype(d) for d in dtypes)
+    if arr.dtype not in dtypes:
+        allowed = ", ".join(str(d) for d in dtypes)
+        raise TypeError(f"{name} has dtype {arr.dtype}, expected one of: {allowed}")
+    return arr
+
+
+def ensure_positive(value, name: str = "value", strict: bool = True):
+    """Validate that a scalar is positive (strictly by default)."""
+    if not np.isscalar(value) or isinstance(value, (bool, np.bool_)):
+        raise TypeError(f"{name} must be a numeric scalar, got {type(value).__name__}")
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def ensure_in(value, allowed: Sequence, name: str = "value"):
+    """Validate membership of ``value`` in ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {list(allowed)!r}, got {value!r}")
+    return value
+
+
+def ensure_shape_match(a: np.ndarray, b: np.ndarray, name_a: str = "a", name_b: str = "b"):
+    """Validate that two arrays have identical shapes."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"shape mismatch: {name_a} has shape {a.shape} but {name_b} has shape {b.shape}"
+        )
+    return a, b
+
+
+def ensure_ndim(arr: np.ndarray, ndims: Iterable[int], name: str = "array") -> np.ndarray:
+    """Validate that ``arr.ndim`` is one of ``ndims``."""
+    ndims = tuple(ndims)
+    if arr.ndim not in ndims:
+        raise ValueError(f"{name} must have ndim in {ndims}, got {arr.ndim}")
+    return arr

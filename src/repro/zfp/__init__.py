@@ -1,0 +1,21 @@
+"""ZFP-style transform-based error-bounded compressor.
+
+ZFP (Lindstrom, 2014) is the other mainstream family of scientific lossy
+compressors discussed in the paper's background: instead of predicting each
+point, it partitions the data into small fixed-size blocks, applies a
+decorrelating orthogonal transform per block, and codes the transform
+coefficients.  This package implements a simplified fixed-accuracy variant of
+that design (4-wide blocks, orthonormal DCT-II transform, conservative
+coefficient quantization) used as an additional baseline in the ablation
+benchmarks.
+"""
+
+from repro.zfp.transform import dct_matrix, block_transform_forward, block_transform_inverse
+from repro.zfp.codec import ZFPLikeCompressor
+
+__all__ = [
+    "dct_matrix",
+    "block_transform_forward",
+    "block_transform_inverse",
+    "ZFPLikeCompressor",
+]

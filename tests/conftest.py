@@ -1,0 +1,29 @@
+"""Shared fixtures: small cached synthetic datasets and RNGs."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def cesm_small():
+    """Small CESM-like 2D dataset shared across tests."""
+    return make_dataset("cesm", shape=(48, 96), seed=3)
+
+
+@pytest.fixture(scope="session")
+def hurricane_small():
+    """Small Hurricane-like 3D dataset shared across tests."""
+    return make_dataset("hurricane", shape=(10, 32, 32), seed=4)
+
+
+@pytest.fixture(scope="session")
+def scale_small():
+    """Small SCALE-like 3D dataset shared across tests."""
+    return make_dataset("scale", shape=(8, 40, 40), seed=5)

@@ -1,0 +1,117 @@
+"""Unit tests for the CFNN model wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.cfnn import CFNN, CFNNConfig, build_cfnn_network
+from repro.core.training import TrainingConfig
+
+
+def _toy_problem(ndim, rng, size=24):
+    """Anchors and a target with an exact linear cross-field difference relation."""
+    if ndim == 2:
+        shape = (size, size)
+    else:
+        shape = (8, size, size)
+    anchors = [np.cumsum(rng.normal(size=shape), axis=-1) for _ in range(2)]
+    target = 0.7 * anchors[0] - 0.4 * anchors[1]
+    return anchors, target
+
+
+class TestCFNNConfig:
+    def test_channel_counts(self):
+        config = CFNNConfig(n_anchors=3, ndim=3)
+        assert config.in_channels == 9
+        assert config.out_channels == 3
+
+    def test_halo(self):
+        assert CFNNConfig(n_anchors=1, ndim=2, kernel_size=3).halo == 3
+        assert CFNNConfig(n_anchors=1, ndim=2, kernel_size=5).halo == 6
+
+    def test_round_trip_dict(self):
+        config = CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4)
+        assert CFNNConfig.from_dict(config.to_dict()) == config
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CFNNConfig(n_anchors=0, ndim=2)
+        with pytest.raises(ValueError):
+            CFNNConfig(n_anchors=1, ndim=4)
+        with pytest.raises(ValueError):
+            CFNNConfig(n_anchors=1, ndim=2, kernel_size=4)
+
+    def test_network_parameter_count_matches_layers(self):
+        config = CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8)
+        network = build_cfnn_network(config)
+        assert network.num_parameters() > 0
+        assert CFNN(config).num_parameters == network.num_parameters()
+
+
+class TestCFNNTrainingAndInference:
+    def test_training_reduces_loss_2d(self):
+        rng = np.random.default_rng(0)
+        anchors, target = _toy_problem(2, rng, size=48)
+        model = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8))
+        history = model.train(anchors, target, TrainingConfig(epochs=6, n_patches=32, patch_size_2d=16))
+        assert history.improved()
+        assert model.is_trained
+
+    def test_predict_differences_shapes(self):
+        rng = np.random.default_rng(1)
+        anchors, target = _toy_problem(2, rng)
+        model = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8))
+        model.train(anchors, target, TrainingConfig(epochs=1, n_patches=8, patch_size_2d=16))
+        diffs = model.predict_differences(anchors)
+        assert len(diffs) == 2
+        assert all(d.shape == target.shape for d in diffs)
+
+    def test_predict_3d(self):
+        rng = np.random.default_rng(2)
+        anchors, target = _toy_problem(3, rng, size=16)
+        model = CFNN(CFNNConfig(n_anchors=2, ndim=3, hidden_channels=4, expanded_channels=8), tile_size=16)
+        model.train(anchors, target, TrainingConfig(epochs=1, n_patches=6, patch_size_3d=8))
+        diffs = model.predict_differences(anchors)
+        assert len(diffs) == 3
+        assert diffs[0].shape == target.shape
+
+    def test_untrained_prediction_rejected(self):
+        model = CFNN(CFNNConfig(n_anchors=1, ndim=2))
+        with pytest.raises(RuntimeError):
+            model.predict_differences([np.zeros((16, 16))])
+
+    def test_wrong_anchor_count(self):
+        rng = np.random.default_rng(3)
+        anchors, target = _toy_problem(2, rng)
+        model = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8))
+        with pytest.raises(ValueError):
+            model.train(anchors[:1], target)
+
+    def test_serialization_roundtrip_gives_identical_predictions(self):
+        rng = np.random.default_rng(4)
+        anchors, target = _toy_problem(2, rng, size=40)
+        model = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8))
+        model.train(anchors, target, TrainingConfig(epochs=2, n_patches=16, patch_size_2d=16))
+        payload = model.to_bytes()
+        restored = CFNN.from_bytes(payload)
+        original_pred = CFNN.from_bytes(payload).predict_differences(anchors)
+        restored_pred = restored.predict_differences(anchors)
+        for a, b in zip(original_pred, restored_pred):
+            assert np.array_equal(a, b)
+
+    def test_serialize_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            CFNN(CFNNConfig(n_anchors=1, ndim=2)).to_bytes()
+
+    def test_tiled_inference_deterministic(self):
+        rng = np.random.default_rng(5)
+        anchors, target = _toy_problem(2, rng, size=80)
+        model = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8), tile_size=32)
+        model.train(anchors, target, TrainingConfig(epochs=1, n_patches=8, patch_size_2d=16))
+        a = model.predict_differences(anchors)
+        b = model.predict_differences(anchors)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_tile_size_too_small(self):
+        with pytest.raises(ValueError):
+            CFNN(CFNNConfig(n_anchors=1, ndim=2), tile_size=2)

@@ -1,0 +1,142 @@
+"""Integration tests for the cross-field compressor."""
+
+import numpy as np
+import pytest
+
+from repro.core import CFNN, CFNNConfig, CrossFieldCompressor, TrainingConfig, compress_fieldset
+from repro.core.anchors import get_anchor_spec
+from repro.sz import ErrorBound, SZCompressor
+
+FAST_TRAINING = TrainingConfig(epochs=2, n_patches=16, batch_size=4, patch_size_2d=16, patch_size_3d=8)
+
+
+class TestCrossFieldCompressor2D:
+    @pytest.fixture(scope="class")
+    def compressed(self, request):
+        cesm = request.getfixturevalue("cesm_small")
+        anchors = [cesm[n].data.astype(np.float64) for n in ("CLDLOW", "CLDMED", "CLDHGH")]
+        target = cesm["CLDTOT"].data
+        comp = CrossFieldCompressor(
+            error_bound=ErrorBound.relative(1e-3), training=FAST_TRAINING, allow_fallback=False
+        )
+        result = comp.compress(target, anchors, field_name="CLDTOT")
+        return comp, result, target, anchors
+
+    def test_error_bound_respected(self, compressed):
+        comp, result, target, anchors = compressed
+        recon = comp.decompress(result.payload, anchors)
+        error = np.max(np.abs(recon.astype(np.float64) - target.astype(np.float64)))
+        assert error <= result.abs_error_bound * (1 + 1e-9)
+
+    def test_metadata_records_models(self, compressed):
+        _, result, _, _ = compressed
+        assert result.metadata["cfnn_parameters"] > 0
+        assert result.metadata["hybrid_parameters"] == 3
+        assert "model.cfnn" in result.section_sizes
+        assert len(result.metadata["hybrid"]["weights"]) == 3
+
+    def test_sequential_and_wavefront_decoders_agree(self, compressed):
+        _, result, target, anchors = compressed
+        wavefront = CrossFieldCompressor(decoder="wavefront").decompress(result.payload, anchors)
+        sequential = CrossFieldCompressor(decoder="sequential").decompress(result.payload, anchors)
+        assert np.array_equal(wavefront, sequential)
+
+    def test_wrong_anchor_count_rejected(self, compressed):
+        comp, result, _, anchors = compressed
+        with pytest.raises(ValueError):
+            comp.decompress(result.payload, anchors[:1])
+
+    def test_wrong_anchor_shape_rejected(self, compressed):
+        comp, result, _, anchors = compressed
+        bad = [a[:-1, :-1] for a in anchors]
+        with pytest.raises(ValueError):
+            comp.decompress(result.payload, bad)
+
+
+class TestCrossFieldCompressor3D:
+    def test_round_trip_3d(self, hurricane_small):
+        anchors = [hurricane_small[n].data.astype(np.float64) for n in ("Uf", "Vf", "Pf")]
+        target = hurricane_small["Wf"].data
+        comp = CrossFieldCompressor(
+            error_bound=ErrorBound.relative(1e-3), training=FAST_TRAINING, tile_size=16
+        )
+        result = comp.compress(target, anchors)
+        recon = comp.decompress(result.payload, anchors)
+        assert np.max(np.abs(recon.astype(np.float64) - target.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+        assert result.metadata["hybrid_parameters"] == 4
+
+
+class TestModelReuseAndOptions:
+    def test_pretrained_model_reused_across_error_bounds(self, cesm_small):
+        anchors = [cesm_small[n].data.astype(np.float64) for n in ("FLUTC", "FLNT")]
+        target = cesm_small["LWCF"].data
+        cfnn = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8))
+        cfnn.train(anchors, target.astype(np.float64), FAST_TRAINING)
+        for eb in (1e-3, 5e-4):
+            comp = CrossFieldCompressor(error_bound=ErrorBound.relative(eb))
+            result = comp.compress(target, anchors, cfnn=cfnn)
+            recon = comp.decompress(result.payload, anchors)
+            assert np.max(np.abs(recon.astype(np.float64) - target.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+
+    def test_untrained_supplied_model_rejected(self, cesm_small):
+        anchors = [cesm_small[n].data for n in ("FLUTC", "FLNT")]
+        comp = CrossFieldCompressor()
+        with pytest.raises(ValueError):
+            comp.compress(cesm_small["LWCF"].data, anchors, cfnn=CFNN(CFNNConfig(n_anchors=2, ndim=2)))
+
+    def test_exclude_model_requires_model_at_decompression(self, cesm_small):
+        anchors = [cesm_small[n].data.astype(np.float64) for n in ("FLUTC", "FLNT")]
+        target = cesm_small["LWCF"].data
+        cfnn = CFNN(CFNNConfig(n_anchors=2, ndim=2, hidden_channels=4, expanded_channels=8))
+        cfnn.train(anchors, target.astype(np.float64), FAST_TRAINING)
+        comp = CrossFieldCompressor(
+            error_bound=ErrorBound.relative(1e-3), include_model=False, allow_fallback=False
+        )
+        result = comp.compress(target, anchors, cfnn=cfnn)
+        assert "model.cfnn" not in result.section_sizes
+        with pytest.raises(ValueError):
+            comp.decompress(result.payload, anchors)
+        recon = comp.decompress(result.payload, anchors, cfnn=cfnn)
+        assert np.max(np.abs(recon.astype(np.float64) - target.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+
+    def test_no_anchors_rejected(self, cesm_small):
+        with pytest.raises(ValueError):
+            CrossFieldCompressor().compress(cesm_small["LWCF"].data, [])
+
+    def test_mismatched_anchor_grid_rejected(self, cesm_small):
+        with pytest.raises(ValueError):
+            CrossFieldCompressor().compress(cesm_small["LWCF"].data, [np.zeros((4, 4))])
+
+    def test_invalid_constructor_options(self):
+        with pytest.raises(ValueError):
+            CrossFieldCompressor(hybrid_method="magic")
+        with pytest.raises(ValueError):
+            CrossFieldCompressor(decoder="unknown")
+        with pytest.raises(TypeError):
+            CrossFieldCompressor(error_bound=0.001)
+
+
+class TestFieldSetOrchestration:
+    def test_compress_fieldset_report(self, cesm_small):
+        spec = get_anchor_spec("cesm", "LWCF")
+        report = compress_fieldset(
+            cesm_small, spec, ErrorBound.relative(1e-3), training=FAST_TRAINING
+        )
+        assert report.target == "LWCF"
+        assert set(report.anchor_results) == set(spec.anchors)
+        assert report.baseline.ratio > 1.0
+        assert report.cross_field.ratio > 1.0
+        row = report.row()
+        assert row["field"] == "LWCF"
+        assert np.isclose(
+            row["improvement_percent"],
+            100.0 * (report.cross_field.ratio / report.baseline.ratio - 1.0),
+        )
+
+    def test_baseline_and_ours_share_error_bound_guarantee(self, cesm_small):
+        spec = get_anchor_spec("cesm", "CLDTOT")
+        eb = ErrorBound.relative(2e-3)
+        report = compress_fieldset(cesm_small, spec, eb, training=FAST_TRAINING)
+        target = cesm_small["CLDTOT"].data.astype(np.float64)
+        baseline_recon = SZCompressor(error_bound=eb).decompress(report.baseline.payload)
+        assert np.max(np.abs(baseline_recon.astype(np.float64) - target)) <= report.baseline.abs_error_bound * (1 + 1e-9)

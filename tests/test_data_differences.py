@@ -1,0 +1,79 @@
+"""Unit tests for repro.data.differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.differences import (
+    backward_difference,
+    backward_differences_all_dims,
+    central_difference,
+    forward_difference,
+    integrate_backward_difference,
+)
+
+
+class TestBackwardDifference:
+    def test_simple_1d(self):
+        x = np.array([1.0, 3.0, 6.0, 10.0])
+        d = backward_difference(x, 0)
+        assert np.allclose(d, [1.0, 2.0, 3.0, 4.0])
+
+    def test_first_element_is_value(self):
+        x = np.array([[5.0, 7.0], [9.0, 11.0]])
+        d = backward_difference(x, 0)
+        assert np.allclose(d[0], x[0])
+
+    def test_constant_field_is_zero_after_first(self):
+        x = np.full((6, 6), 3.0)
+        d = backward_difference(x, 1)
+        assert np.allclose(d[:, 1:], 0.0)
+
+    def test_axis_negative(self):
+        x = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert np.allclose(backward_difference(x, -1), backward_difference(x, 1))
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            backward_difference(np.zeros((2, 2)), 5)
+
+    def test_round_trip_with_integration(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 7, 3)).astype(np.float64)
+        for axis in range(3):
+            d = backward_difference(x, axis)
+            rec = integrate_backward_difference(d, axis)
+            assert np.allclose(rec, x, atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(arrays(np.float64, (4, 6), elements=st.floats(-100, 100)))
+    def test_property_roundtrip(self, x):
+        for axis in (0, 1):
+            rec = integrate_backward_difference(backward_difference(x, axis), axis)
+            assert np.allclose(rec, x, atol=1e-8)
+
+
+class TestForwardCentral:
+    def test_forward_difference(self):
+        x = np.array([1.0, 4.0, 9.0])
+        d = forward_difference(x, 0)
+        assert np.allclose(d, [3.0, 5.0, 0.0])
+
+    def test_central_difference_linear_exact(self):
+        x = np.arange(10, dtype=np.float64) * 2.0
+        d = central_difference(x, 0)
+        assert np.allclose(d, 2.0)
+
+    def test_central_single_element_axis(self):
+        x = np.ones((1, 5))
+        d = central_difference(x, 0)
+        assert np.allclose(d, 0.0)
+
+    def test_all_dims(self):
+        x = np.random.default_rng(1).normal(size=(4, 5, 6))
+        diffs = backward_differences_all_dims(x)
+        assert len(diffs) == 3
+        for axis, d in enumerate(diffs):
+            assert np.allclose(d, backward_difference(x, axis))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.data.fields."""
+
+import numpy as np
+import pytest
+
+from repro.data.fields import Field, FieldSet
+
+
+class TestField:
+    def test_basic_properties(self):
+        field = Field("T", np.arange(12, dtype=np.float32).reshape(3, 4), units="K")
+        assert field.shape == (3, 4)
+        assert field.ndim == 2
+        assert field.size == 12
+        assert field.nbytes == 48
+        assert field.units == "K"
+        assert field.value_range == 11.0
+
+    def test_casts_integers_to_float32(self):
+        field = Field("x", np.arange(4))
+        assert field.dtype in (np.dtype(np.float32), np.dtype(np.float64))
+
+    def test_normalized_range(self):
+        field = Field("x", np.array([[1.0, 3.0], [5.0, 7.0]], dtype=np.float32))
+        norm = field.normalized()
+        assert np.isclose(norm.data.min(), 0.0)
+        assert np.isclose(norm.data.max(), 1.0)
+
+    def test_normalized_constant_field(self):
+        field = Field("c", np.full((4, 4), 2.0, dtype=np.float32))
+        norm = field.normalized(lo=0.25, hi=0.75)
+        assert np.allclose(norm.data, 0.25)
+
+    def test_copy_is_independent(self):
+        field = Field("x", np.zeros((2, 2), dtype=np.float32))
+        clone = field.copy()
+        clone.data[0, 0] = 9.0
+        assert field.data[0, 0] == 0.0
+
+    def test_with_data_keeps_metadata(self):
+        field = Field("x", np.zeros((2, 2), dtype=np.float32), units="m", description="d")
+        new = field.with_data(np.ones((3, 3), dtype=np.float32))
+        assert new.units == "m" and new.description == "d"
+        assert new.shape == (3, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Field("x", np.zeros((0,)))
+
+
+class TestFieldSet:
+    def _make(self):
+        return FieldSet(
+            [Field("a", np.zeros((4, 5), dtype=np.float32)), Field("b", np.ones((4, 5), dtype=np.float32))],
+            name="demo",
+        )
+
+    def test_lookup_and_iteration(self):
+        fs = self._make()
+        assert fs.names == ["a", "b"]
+        assert "a" in fs
+        assert len(fs) == 2
+        assert [f.name for f in fs] == ["a", "b"]
+        assert fs["b"].data[0, 0] == 1.0
+
+    def test_shape_and_bytes(self):
+        fs = self._make()
+        assert fs.shape == (4, 5)
+        assert fs.ndim == 2
+        assert fs.nbytes == 2 * 4 * 5 * 4
+
+    def test_rejects_mismatched_shape(self):
+        fs = self._make()
+        with pytest.raises(ValueError):
+            fs.add(Field("c", np.zeros((3, 3), dtype=np.float32)))
+
+    def test_rejects_duplicate_name(self):
+        fs = self._make()
+        with pytest.raises(ValueError):
+            fs.add(Field("a", np.zeros((4, 5), dtype=np.float32)))
+
+    def test_missing_field_error_lists_names(self):
+        fs = self._make()
+        with pytest.raises(KeyError):
+            fs["missing"]
+
+    def test_subset(self):
+        fs = self._make()
+        sub = fs.subset(["b"])
+        assert sub.names == ["b"]
+
+    def test_stacked(self):
+        fs = self._make()
+        stacked = fs.stacked()
+        assert stacked.shape == (2, 4, 5)
+
+    def test_round_trip_dict(self):
+        fs = self._make()
+        rebuilt = FieldSet.from_dict(fs.to_dict(), name="demo")
+        assert rebuilt.names == fs.names
+        assert np.array_equal(rebuilt["a"].data, fs["a"].data)
+
+    def test_remove(self):
+        fs = self._make()
+        removed = fs.remove("a")
+        assert removed.name == "a"
+        assert "a" not in fs
+
+    def test_empty_shape_raises(self):
+        with pytest.raises(ValueError):
+            FieldSet().shape
+
+    def test_describe_mentions_fields(self):
+        text = self._make().describe()
+        assert "a" in text and "demo" in text

@@ -1,0 +1,56 @@
+"""Unit tests for repro.data.io (SDRBench-style binary IO)."""
+
+import numpy as np
+import pytest
+
+from repro.data.fields import Field, FieldSet
+from repro.data.io import read_fieldset, read_sdrbench, write_fieldset, write_sdrbench
+
+
+class TestRawIO:
+    def test_round_trip(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(6, 8)).astype(np.float32)
+        field = Field("U", data)
+        path = write_sdrbench(field, tmp_path / "U.f32")
+        loaded = read_sdrbench(path, (6, 8))
+        assert loaded.name == "U"
+        assert np.array_equal(loaded.data, data)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        field = Field("U", np.zeros((4, 4), dtype=np.float32))
+        path = write_sdrbench(field, tmp_path / "U.f32")
+        with pytest.raises(ValueError):
+            read_sdrbench(path, (5, 5))
+
+    def test_custom_name(self, tmp_path):
+        field = Field("U", np.zeros((2, 2), dtype=np.float32))
+        path = write_sdrbench(field, tmp_path / "data.f32")
+        loaded = read_sdrbench(path, (2, 2), name="renamed")
+        assert loaded.name == "renamed"
+
+    def test_double_precision(self, tmp_path):
+        data = np.random.default_rng(1).normal(size=(3, 3))
+        path = write_sdrbench(Field("D", data.astype(np.float64)), tmp_path / "D.f64", dtype=np.float64)
+        loaded = read_sdrbench(path, (3, 3), dtype=np.float64)
+        assert np.allclose(loaded.data, data)
+
+
+class TestFieldSetIO:
+    def test_round_trip(self, tmp_path):
+        fs = FieldSet(
+            [
+                Field("A", np.random.default_rng(0).normal(size=(5, 6)).astype(np.float32), units="m"),
+                Field("B", np.random.default_rng(1).normal(size=(5, 6)).astype(np.float32)),
+            ],
+            name="demo",
+        )
+        directory = write_fieldset(fs, tmp_path / "demo")
+        loaded = read_fieldset(directory)
+        assert loaded.name == "demo"
+        assert loaded.names == ["A", "B"]
+        assert loaded["A"].units == "m"
+        assert np.array_equal(loaded["B"].data, fs["B"].data)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_fieldset(tmp_path)

@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DATASET_GENERATORS,
+    gaussian_random_field,
+    make_cesm_dataset,
+    make_dataset,
+    make_hurricane_dataset,
+    make_scale_dataset,
+)
+from repro.metrics.correlation import mutual_information_score
+
+
+class TestGaussianRandomField:
+    def test_normalised(self):
+        rng = np.random.default_rng(0)
+        field = gaussian_random_field((32, 32), rng, power=3.0)
+        assert abs(field.mean()) < 1e-8
+        assert np.isclose(field.std(), 1.0)
+
+    def test_smoothness_increases_with_power(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        rough = gaussian_random_field((64, 64), rng_a, power=1.0)
+        smooth = gaussian_random_field((64, 64), rng_b, power=4.0)
+        assert np.abs(np.diff(smooth, axis=0)).mean() < np.abs(np.diff(rough, axis=0)).mean()
+
+    def test_rejects_tiny_dims(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((1, 8), np.random.default_rng(0))
+
+    def test_anisotropy_length_check(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field((8, 8), np.random.default_rng(0), anisotropy=[1.0])
+
+
+class TestGenerators:
+    def test_scale_fields_and_shape(self):
+        ds = make_scale_dataset((6, 24, 24), seed=0)
+        assert ds.shape == (6, 24, 24)
+        for name in ("U", "V", "W", "PRES", "T", "QV", "RH"):
+            assert name in ds
+
+    def test_scale_rh_physical_range(self):
+        ds = make_scale_dataset((6, 24, 24), seed=0)
+        rh = ds["RH"].data
+        assert rh.min() >= 0.0 and rh.max() <= 110.0
+
+    def test_hurricane_fields(self):
+        ds = make_hurricane_dataset((6, 24, 24), seed=1)
+        for name in ("Uf", "Vf", "Wf", "Pf", "TCf"):
+            assert name in ds
+        assert ds["Pf"].data.min() > 0
+
+    def test_cesm_fields_and_relations(self):
+        ds = make_cesm_dataset((48, 96), seed=2)
+        cldtot = ds["CLDTOT"].data
+        assert cldtot.min() >= 0.0 and cldtot.max() <= 1.0
+        # LWCF is constructed as FLNTC - FLNT
+        assert np.allclose(ds["LWCF"].data, ds["FLNTC"].data - ds["FLNT"].data, atol=1e-3)
+
+    def test_cross_field_dependence_exists(self):
+        ds = make_hurricane_dataset((8, 32, 32), seed=3)
+        mi = mutual_information_score(ds["Wf"].data, ds["Uf"].data, bins=32)
+        assert mi > 0.05
+
+    def test_reproducible_with_seed(self):
+        a = make_cesm_dataset((24, 48), seed=9)["FLUT"].data
+        b = make_cesm_dataset((24, 48), seed=9)["FLUT"].data
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_cesm_dataset((24, 48), seed=1)["FLUT"].data
+        b = make_cesm_dataset((24, 48), seed=2)["FLUT"].data
+        assert not np.array_equal(a, b)
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            make_cesm_dataset((4, 4, 4))
+        with pytest.raises(ValueError):
+            make_scale_dataset((10, 10))
+
+
+class TestRegistry:
+    def test_make_dataset_dispatch(self):
+        ds = make_dataset("cesm-atm", shape=(24, 48))
+        assert ds.name == "CESM-ATM"
+
+    def test_all_generators_registered(self):
+        assert set(DATASET_GENERATORS) == {"scale", "hurricane", "cesm"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_dataset("unknown")
+
+    def test_float32_output(self):
+        ds = make_dataset("hurricane", shape=(4, 16, 16))
+        assert all(f.dtype == np.float32 for f in ds)

@@ -1,0 +1,83 @@
+"""Unit tests for the bit-level stream writer/reader."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        w = BitWriter()
+        w.write(0b10110, 5)
+        w.write(0b101, 3)
+        assert w.getvalue() == bytes([0b10110101])
+        assert w.bit_length == 8
+
+    def test_padding(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        data = w.getvalue()
+        assert data == bytes([0b10000000])
+
+    def test_zero_bits_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.getvalue() == b""
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 3)
+
+    def test_long_value(self):
+        w = BitWriter()
+        w.write((1 << 40) - 3, 40)
+        r = BitReader(w.getvalue())
+        assert r.read(40) == (1 << 40) - 3
+
+
+class TestBitReader:
+    def test_read_back(self):
+        w = BitWriter()
+        values = [(3, 2), (100, 7), (0, 4), (65535, 16), (1, 1)]
+        for v, n in values:
+            w.write(v, n)
+        r = BitReader(w.getvalue())
+        for v, n in values:
+            assert r.read(v.bit_length() if False else n) == v
+
+    def test_eof(self):
+        r = BitReader(b"\x00")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_seek(self):
+        w = BitWriter()
+        w.write(0b1010, 4)
+        r = BitReader(w.getvalue())
+        r.read(4)
+        r.seek_bit(0)
+        assert r.read(4) == 0b1010
+
+    def test_unary(self):
+        w = BitWriter()
+        for v in (0, 3, 7, 40):
+            w.write_unary(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_unary() for _ in range(4)] == [0, 3, 7, 40]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(20, 24)), min_size=1, max_size=50))
+    def test_property_roundtrip(self, pairs):
+        w = BitWriter()
+        for value, width in pairs:
+            w.write(value, width)
+        r = BitReader(w.getvalue())
+        for value, width in pairs:
+            assert r.read(width) == value

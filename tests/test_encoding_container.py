@@ -1,0 +1,71 @@
+"""Unit tests for the compressed-payload container format."""
+
+import pytest
+
+from repro.encoding.container import CompressedBlob, pack_sections, unpack_sections
+
+
+class TestCompressedBlob:
+    def test_round_trip(self):
+        blob = CompressedBlob(metadata={"shape": [4, 4], "eb": 1e-3})
+        blob.add_section("residuals", b"\x01\x02\x03")
+        blob.add_section("model", b"weights")
+        rebuilt = CompressedBlob.from_bytes(blob.to_bytes())
+        assert rebuilt.metadata == {"shape": [4, 4], "eb": 1e-3}
+        assert rebuilt.get_section("residuals") == b"\x01\x02\x03"
+        assert rebuilt.get_section("model") == b"weights"
+
+    def test_empty_sections_ok(self):
+        blob = CompressedBlob(metadata={"x": 1})
+        rebuilt = CompressedBlob.from_bytes(blob.to_bytes())
+        assert rebuilt.metadata["x"] == 1
+
+    def test_crc_detects_corruption(self):
+        blob = CompressedBlob(metadata={"a": 1})
+        blob.add_section("data", b"abcdefgh")
+        payload = bytearray(blob.to_bytes())
+        payload[-3] ^= 0xFF
+        with pytest.raises(ValueError, match="CRC"):
+            CompressedBlob.from_bytes(bytes(payload))
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            CompressedBlob.from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            CompressedBlob.from_bytes(b"\x00")
+
+    def test_missing_section(self):
+        blob = CompressedBlob()
+        with pytest.raises(KeyError):
+            blob.get_section("nothing")
+
+    def test_contains(self):
+        blob = CompressedBlob()
+        blob.add_section("a", b"1")
+        assert "a" in blob and "b" not in blob
+
+    def test_section_sizes(self):
+        blob = CompressedBlob(metadata={"k": "v"})
+        blob.add_section("a", b"12345")
+        sizes = blob.section_sizes()
+        assert sizes["a"] == 5
+        assert sizes["__metadata__"] > 0
+
+    def test_rejects_non_bytes_section(self):
+        with pytest.raises(TypeError):
+            CompressedBlob().add_section("bad", 123)
+
+    def test_nbytes_matches_serialized_length(self):
+        blob = CompressedBlob(metadata={"a": 1})
+        blob.add_section("x", b"\x00" * 100)
+        assert blob.nbytes == len(blob.to_bytes())
+
+
+class TestHelpers:
+    def test_pack_unpack(self):
+        payload = pack_sections({"name": "field"}, {"data": b"123"})
+        metadata, sections = unpack_sections(payload)
+        assert metadata["name"] == "field"
+        assert sections["data"] == b"123"

@@ -1,0 +1,112 @@
+"""Unit tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+
+
+class TestHuffmanTable:
+    def test_prefix_free(self):
+        freq = np.array([50, 20, 10, 5, 5, 5, 3, 2])
+        table = HuffmanTable.from_frequencies(freq)
+        codes = [
+            format(int(c), f"0{int(l)}b")
+            for c, l in zip(table.codes, table.lengths)
+            if l > 0
+        ]
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_kraft_inequality(self):
+        freq = np.array([100, 1, 1, 1, 1, 1, 1, 1, 1, 1])
+        table = HuffmanTable.from_frequencies(freq)
+        lengths = table.lengths[table.lengths > 0]
+        assert np.sum(1.0 / np.exp2(lengths)) <= 1.0 + 1e-12
+
+    def test_single_symbol(self):
+        table = HuffmanTable.from_frequencies(np.array([0, 10, 0]))
+        assert table.lengths[1] == 1
+
+    def test_length_limit(self):
+        # wildly skewed distribution forces long codes that must be clamped
+        freq = np.array([2**i for i in range(30)][::-1])
+        table = HuffmanTable.from_frequencies(freq, max_length=12)
+        assert table.max_length <= 12
+
+    def test_serialization_roundtrip(self):
+        freq = np.array([7, 3, 0, 11, 2])
+        table = HuffmanTable.from_frequencies(freq)
+        rebuilt = HuffmanTable.from_bytes(table.to_bytes())
+        assert np.array_equal(rebuilt.lengths, table.lengths)
+        assert np.array_equal(rebuilt.codes, table.codes)
+
+    def test_expected_bits(self):
+        freq = np.array([4, 4])
+        table = HuffmanTable.from_frequencies(freq)
+        assert table.expected_bits(freq) == 8.0
+
+    def test_all_zero_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies(np.zeros(4, dtype=np.int64))
+
+
+class TestHuffmanCodec:
+    def test_round_trip_skewed(self):
+        rng = np.random.default_rng(0)
+        symbols = rng.poisson(2.0, size=5000).astype(np.int64)
+        codec = HuffmanCodec()
+        payload, table = codec.encode(symbols)
+        decoded = codec.decode(payload, table)
+        assert np.array_equal(decoded, symbols)
+
+    def test_round_trip_uniform(self):
+        rng = np.random.default_rng(1)
+        symbols = rng.integers(0, 200, size=3000)
+        codec = HuffmanCodec()
+        payload, table = codec.encode(symbols)
+        assert np.array_equal(codec.decode(payload, table), symbols)
+
+    def test_compresses_skewed_data(self):
+        rng = np.random.default_rng(2)
+        symbols = rng.poisson(0.3, size=20000)
+        codec = HuffmanCodec()
+        payload, _ = codec.encode(symbols)
+        assert len(payload) < symbols.size  # far fewer than 1 byte per symbol
+
+    def test_empty_stream(self):
+        codec = HuffmanCodec()
+        payload, table = codec.encode(np.array([], dtype=np.int64))
+        assert codec.decode(payload, table).size == 0
+
+    def test_single_symbol_stream(self):
+        codec = HuffmanCodec()
+        symbols = np.full(100, 7, dtype=np.int64)
+        payload, table = codec.encode(symbols)
+        assert np.array_equal(codec.decode(payload, table), symbols)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec().encode(np.array([-1, 2]))
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            HuffmanCodec().encode(np.array([1.5, 2.0]))
+
+    def test_external_table_missing_symbol(self):
+        codec = HuffmanCodec()
+        _, table = codec.encode(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            codec.encode(np.array([0, 1, 2, 99]), table)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 300), min_size=1, max_size=400))
+    def test_property_roundtrip(self, values):
+        symbols = np.asarray(values, dtype=np.int64)
+        codec = HuffmanCodec()
+        payload, table = codec.encode(symbols)
+        assert np.array_equal(codec.decode(payload, table), symbols)

@@ -1,0 +1,81 @@
+"""Unit tests for experiment configuration and report formatting."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_TABLE2_BASELINE,
+    PAPER_TABLE2_OURS,
+    PAPER_TABLE3_MODEL_SIZES,
+    TABLE2_ERROR_BOUNDS,
+    TABLE2_EXPERIMENTS,
+    ExperimentScale,
+    dataset_shapes,
+    default_training_config,
+    resolve_scale,
+)
+from repro.experiments.report import format_markdown_table, format_table
+
+
+class TestConfig:
+    def test_scales_resolve(self):
+        assert resolve_scale("smoke") is ExperimentScale.SMOKE
+        assert resolve_scale(ExperimentScale.PAPER) is ExperimentScale.PAPER
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert resolve_scale(None) is ExperimentScale.SMOKE
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            resolve_scale("gigantic")
+
+    def test_dataset_shapes_ranks(self):
+        shapes = dataset_shapes("smoke")
+        assert len(shapes["scale"]) == 3
+        assert len(shapes["hurricane"]) == 3
+        assert len(shapes["cesm"]) == 2
+
+    def test_paper_scale_matches_table1(self):
+        shapes = dataset_shapes("paper")
+        assert shapes["scale"] == (98, 1200, 1200)
+        assert shapes["cesm"] == (1800, 3600)
+        assert shapes["hurricane"] == (100, 500, 500)
+
+    def test_training_config_by_ndim(self):
+        cfg2 = default_training_config(2, "default")
+        cfg3 = default_training_config(3, "default")
+        cfg2.validate()
+        cfg3.validate()
+        smoke = default_training_config(3, "smoke")
+        assert smoke.epochs <= cfg3.epochs
+
+    def test_experiment_grid_consistent_with_paper_tables(self):
+        for experiment in TABLE2_EXPERIMENTS:
+            assert set(experiment.error_bounds).issubset(set(TABLE2_ERROR_BOUNDS))
+            paper_cells = PAPER_TABLE2_BASELINE[experiment.key]
+            assert set(experiment.error_bounds) == set(paper_cells)
+            assert set(PAPER_TABLE2_OURS[experiment.key]) == set(paper_cells)
+            assert experiment.key in PAPER_TABLE3_MODEL_SIZES
+
+    def test_anchor_specs_resolvable(self):
+        for experiment in TABLE2_EXPERIMENTS:
+            spec = experiment.anchor_spec
+            assert spec.target == experiment.target
+
+
+class TestReport:
+    def test_plain_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]])
+        assert "a" in text and "bb" in text
+        assert "2.50" in text and "3.25" in text
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["col"], [[1]])
+        assert text.startswith("| col |")
+        assert "---" in text
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

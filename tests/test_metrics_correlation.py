@@ -1,0 +1,77 @@
+"""Unit tests for cross-field correlation measures."""
+
+import numpy as np
+import pytest
+
+from repro.data.fields import Field, FieldSet
+from repro.metrics import cross_field_correlation_matrix, mutual_information_score, pearson_correlation
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.random.default_rng(0).normal(size=1000)
+        assert np.isclose(pearson_correlation(x, 2 * x + 1), 1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.random.default_rng(1).normal(size=1000)
+        assert np.isclose(pearson_correlation(x, -x), -1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        assert abs(pearson_correlation(rng.normal(size=5000), rng.normal(size=5000))) < 0.1
+
+    def test_constant_input(self):
+        assert pearson_correlation(np.ones(10), np.arange(10)) == 0.0
+
+
+class TestMutualInformation:
+    def test_nonlinear_dependence_detected(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=20000)
+        y = x**2  # Pearson ~ 0, MI large
+        assert abs(pearson_correlation(x, y)) < 0.1
+        assert mutual_information_score(x, y, bins=32) > 0.5
+
+    def test_independent_low_mi(self):
+        rng = np.random.default_rng(4)
+        mi = mutual_information_score(rng.normal(size=20000), rng.normal(size=20000), bins=32)
+        assert mi < 0.1
+
+    def test_self_information_positive(self):
+        x = np.random.default_rng(5).normal(size=2000)
+        assert mutual_information_score(x, x) > 1.0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            mutual_information_score(np.zeros(10) + np.arange(10), np.arange(10), bins=1)
+
+
+class TestMatrix:
+    def _fieldset(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(32, 32))
+        return FieldSet(
+            [
+                Field("A", a.astype(np.float32)),
+                Field("B", (2 * a).astype(np.float32)),
+                Field("C", rng.normal(size=(32, 32)).astype(np.float32)),
+            ]
+        )
+
+    def test_pearson_matrix(self):
+        matrix = cross_field_correlation_matrix(self._fieldset(), method="pearson")
+        assert np.isclose(matrix["A"]["A"], 1.0)
+        assert np.isclose(matrix["A"]["B"], 1.0, atol=1e-5)
+        assert abs(matrix["A"]["C"]) < 0.3
+
+    def test_mi_matrix(self):
+        matrix = cross_field_correlation_matrix(self._fieldset(), method="mutual_information", bins=16)
+        assert matrix["A"]["B"] > matrix["A"]["C"]
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            cross_field_correlation_matrix(self._fieldset(), method="spearman")
+
+    def test_subset_of_names(self):
+        matrix = cross_field_correlation_matrix(self._fieldset(), names=["A", "C"])
+        assert set(matrix) == {"A", "C"}

@@ -1,0 +1,57 @@
+"""Unit tests for distortion metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import max_abs_error, mean_abs_error, mse, nrmse, psnr, rmse
+
+
+class TestDistortion:
+    def test_identical_arrays(self):
+        x = np.random.default_rng(0).normal(size=(20, 20))
+        assert mse(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+        assert psnr(x, x) == float("inf")
+        assert max_abs_error(x, x) == 0.0
+
+    def test_known_values(self):
+        a = np.array([0.0, 0.0, 0.0, 0.0])
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert mse(a, b) == 1.0
+        assert rmse(a, b) == 1.0
+        assert mean_abs_error(a, b) == 1.0
+        assert max_abs_error(a, b) == 1.0
+
+    def test_psnr_formula(self):
+        original = np.array([0.0, 10.0])
+        noisy = original + np.array([0.1, -0.1])
+        expected = 20 * np.log10(10.0) - 10 * np.log10(0.01)
+        assert np.isclose(psnr(original, noisy), expected)
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 50))
+        small = psnr(x, x + rng.normal(scale=1e-4, size=x.shape))
+        large = psnr(x, x + rng.normal(scale=1e-2, size=x.shape))
+        assert small > large
+
+    def test_nrmse_normalisation(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([1.0, 10.0])
+        assert np.isclose(nrmse(x, y), rmse(x, y) / 10.0)
+
+    def test_nrmse_constant_original(self):
+        x = np.full(4, 3.0)
+        y = x + 0.5
+        assert np.isclose(nrmse(x, y), 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_symmetry_of_error_metrics(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=10)
+        b = rng.normal(size=10)
+        assert np.isclose(mse(a, b), mse(b, a))
+        assert np.isclose(max_abs_error(a, b), max_abs_error(b, a))

@@ -1,0 +1,61 @@
+"""Unit tests for rate-distortion curve containers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import RateDistortionCurve, RatePoint
+
+
+class TestRateDistortionCurve:
+    def _curve(self, label, offset=0.0):
+        curve = RateDistortionCurve(label=label)
+        for rate, value in [(1.0, 50.0), (2.0, 60.0), (4.0, 70.0)]:
+            curve.add_measurement(rate, value + offset, error_bound=1e-3)
+        return curve
+
+    def test_points_sorted_by_rate(self):
+        curve = RateDistortionCurve(label="x")
+        curve.add_measurement(4.0, 70.0)
+        curve.add_measurement(1.0, 50.0)
+        curve.add_measurement(2.0, 60.0)
+        assert list(curve.bit_rates) == [1.0, 2.0, 4.0]
+
+    def test_interpolation(self):
+        curve = self._curve("a")
+        assert np.isclose(curve.psnr_at(1.5), 55.0)
+        assert np.isclose(curve.psnr_at(0.5), 50.0)  # clamped
+        assert np.isclose(curve.psnr_at(8.0), 70.0)  # clamped
+
+    def test_gain_between_curves(self):
+        better = self._curve("ours", offset=3.0)
+        baseline = self._curve("baseline")
+        assert np.isclose(better.average_psnr_gain_over(baseline), 3.0)
+
+    def test_gain_without_overlap_uses_clamped_union(self):
+        a = RateDistortionCurve("a")
+        a.add_measurement(1.0, 50.0)
+        a.add_measurement(2.0, 55.0)
+        b = RateDistortionCurve("b")
+        b.add_measurement(5.0, 40.0)
+        b.add_measurement(6.0, 45.0)
+        gain = a.average_psnr_gain_over(b)
+        assert np.isfinite(gain)
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            RateDistortionCurve("x").psnr_at(1.0)
+        with pytest.raises(ValueError):
+            RateDistortionCurve("x").average_psnr_gain_over(self._curve("y"))
+
+    def test_to_table_and_format(self):
+        curve = self._curve("demo")
+        table = curve.to_table()
+        assert len(table) == 3
+        assert set(table[0]) >= {"bit_rate", "psnr"}
+        text = curve.format()
+        assert "demo" in text and "50.000" in text
+
+    def test_rate_point_dict(self):
+        p = RatePoint(2.0, 60.0, error_bound=1e-3, compression_ratio=16.0)
+        d = p.as_dict()
+        assert d["bit_rate"] == 2.0 and d["compression_ratio"] == 16.0

@@ -1,0 +1,67 @@
+"""Unit tests for SSIM and the size metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import bit_rate, bit_rate_to_ratio, compression_ratio, ratio_to_bit_rate, ssim
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        x = np.random.default_rng(0).normal(size=(40, 40))
+        assert np.isclose(ssim(x, x), 1.0)
+
+    def test_noise_lowers_ssim(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(64, 64)).cumsum(axis=0).cumsum(axis=1)
+        y = x + rng.normal(scale=0.2 * x.std(), size=x.shape)
+        value = ssim(x, y)
+        assert 0.0 < value < 1.0
+
+    def test_more_noise_lower_ssim(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(64, 64)).cumsum(axis=0).cumsum(axis=1)
+        low = ssim(x, x + rng.normal(scale=0.05 * x.std(), size=x.shape))
+        high = ssim(x, x + rng.normal(scale=0.5 * x.std(), size=x.shape))
+        assert low > high
+
+    def test_3d_slice_average(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 32, 32)).cumsum(axis=1)
+        assert np.isclose(ssim(x, x), 1.0)
+
+    def test_1d_supported(self):
+        x = np.linspace(0, 1, 128)
+        assert np.isclose(ssim(x, x), 1.0)
+
+    def test_constant_data(self):
+        x = np.full((16, 16), 5.0)
+        assert np.isclose(ssim(x, x), 1.0)
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((2, 2, 2, 2)), np.zeros((2, 2, 2, 2)))
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(32, 32))
+        y = rng.normal(size=(32, 32))
+        assert ssim(x, y) <= 1.0 + 1e-9
+
+
+class TestRatioMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_bit_rate(self):
+        assert bit_rate(125, 1000) == 1.0
+
+    def test_round_trip_conversions(self):
+        assert np.isclose(bit_rate_to_ratio(ratio_to_bit_rate(16.0)), 16.0)
+        assert np.isclose(ratio_to_bit_rate(32.0), 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compression_ratio(0, 10)
+        with pytest.raises(ValueError):
+            bit_rate(10, 0)

@@ -1,0 +1,94 @@
+"""Unit tests for the channel attention block."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ChannelAttention, MSELoss, Sequential, Conv2d
+
+
+class TestChannelAttention:
+    def test_output_shape_2d(self):
+        rng = np.random.default_rng(0)
+        block = ChannelAttention(8, reduction=4, rng=rng)
+        x = rng.normal(size=(2, 8, 6, 7))
+        assert block(x).shape == x.shape
+
+    def test_output_shape_3d(self):
+        rng = np.random.default_rng(1)
+        block = ChannelAttention(4, rng=rng)
+        x = rng.normal(size=(2, 4, 3, 5, 6))
+        assert block(x).shape == x.shape
+
+    def test_attention_bounded(self):
+        rng = np.random.default_rng(2)
+        block = ChannelAttention(4, rng=rng)
+        x = np.abs(rng.normal(size=(1, 4, 8, 8))) + 0.1
+        out = block(x)
+        # sigmoid weights are in (0, 1): output magnitude never exceeds input
+        assert np.all(np.abs(out) <= np.abs(x) + 1e-12)
+
+    def test_parameter_count(self):
+        block = ChannelAttention(16, reduction=4)
+        hidden = 4
+        expected = 16 * hidden + hidden + hidden * 16 + 16
+        assert block.num_parameters() == expected
+
+    def test_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(3)
+        block = ChannelAttention(4, reduction=2, rng=rng)
+        x = rng.normal(size=(2, 4, 5, 5))
+        loss = MSELoss()
+        target = np.zeros_like(block(x))
+
+        block.zero_grad()
+        loss(block(x), target)
+        grad_input = block.backward(loss.backward())
+
+        eps = 1e-6
+        flat = x.ravel()
+        for idx in rng.choice(flat.size, size=6, replace=False):
+            orig = flat[idx]
+            flat[idx] = orig + eps
+            plus = loss(block(x), target)
+            flat[idx] = orig - eps
+            minus = loss(block(x), target)
+            flat[idx] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert np.isclose(numeric, grad_input.ravel()[idx], atol=1e-5)
+
+        block.zero_grad()
+        loss(block(x), target)
+        block.backward(loss.backward())
+        for param in block.parameters():
+            flat_p = param.data.ravel()
+            idx = int(rng.integers(flat_p.size))
+            orig = flat_p[idx]
+            flat_p[idx] = orig + eps
+            plus = loss(block(x), target)
+            flat_p[idx] = orig - eps
+            minus = loss(block(x), target)
+            flat_p[idx] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert np.isclose(numeric, param.grad.ravel()[idx], atol=1e-5)
+
+    def test_inside_sequential(self):
+        rng = np.random.default_rng(4)
+        model = Sequential(Conv2d(2, 6, 3, rng=rng), ChannelAttention(6, rng=rng), Conv2d(6, 1, 3, rng=rng))
+        x = rng.normal(size=(1, 2, 8, 8))
+        out = model(x)
+        assert out.shape == (1, 1, 8, 8)
+        model.backward(np.ones_like(out))  # does not raise
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            ChannelAttention(4)(np.zeros((1, 3, 5, 5)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ChannelAttention(0)
+        with pytest.raises(ValueError):
+            ChannelAttention(4, reduction=0)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            ChannelAttention(4).backward(np.zeros((1, 4, 2, 2)))

@@ -1,0 +1,152 @@
+"""Unit tests for NN layers (shapes, gradients, parameter registration)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Conv3d,
+    DepthwiseConv2d,
+    DepthwiseSeparableConv2d,
+    DepthwiseSeparableConv3d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MSELoss,
+    PointwiseConv2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+
+def _check_model_gradients(model, x, atol=1e-4, n_checks=4, seed=0):
+    """Compare analytic parameter/input gradients against finite differences."""
+    rng = np.random.default_rng(seed)
+    loss = MSELoss()
+    target = np.zeros_like(model(x))
+
+    model.zero_grad()
+    prediction = model(x)
+    loss(prediction, target)
+    grad_input = model.backward(loss.backward())
+
+    # input gradient
+    flat = x.ravel()
+    for idx in rng.choice(flat.size, size=min(n_checks, flat.size), replace=False):
+        orig = flat[idx]
+        eps = 1e-5
+        flat[idx] = orig + eps
+        plus = loss(model(x), target)
+        flat[idx] = orig - eps
+        minus = loss(model(x), target)
+        flat[idx] = orig
+        numeric = (plus - minus) / (2 * eps)
+        assert np.isclose(numeric, grad_input.ravel()[idx], atol=atol), "input gradient mismatch"
+
+    # parameter gradients
+    model.zero_grad()
+    loss(model(x), target)
+    model.backward(loss.backward())
+    for param in model.parameters():
+        flat_p = param.data.ravel()
+        for idx in rng.choice(flat_p.size, size=min(2, flat_p.size), replace=False):
+            orig = flat_p[idx]
+            eps = 1e-5
+            flat_p[idx] = orig + eps
+            plus = loss(model(x), target)
+            flat_p[idx] = orig - eps
+            minus = loss(model(x), target)
+            flat_p[idx] = orig
+            numeric = (plus - minus) / (2 * eps)
+            assert np.isclose(numeric, param.grad.ravel()[idx], atol=atol), f"param {param.name} gradient mismatch"
+
+
+class TestConvLayers:
+    def test_conv2d_shape_and_params(self):
+        rng = np.random.default_rng(0)
+        layer = Conv2d(3, 8, 3, rng=rng)
+        out = layer(rng.normal(size=(2, 3, 10, 12)))
+        assert out.shape == (2, 8, 10, 12)
+        assert layer.num_parameters() == 3 * 8 * 9 + 8
+
+    def test_conv3d_shape(self):
+        rng = np.random.default_rng(1)
+        layer = Conv3d(2, 4, 3, rng=rng)
+        out = layer(rng.normal(size=(1, 2, 5, 6, 7)))
+        assert out.shape == (1, 4, 5, 6, 7)
+
+    def test_conv2d_gradients(self):
+        rng = np.random.default_rng(2)
+        model = Sequential(Conv2d(2, 4, 3, rng=rng), ReLU(), Conv2d(4, 1, 3, rng=rng))
+        _check_model_gradients(model, rng.normal(size=(2, 2, 6, 6)))
+
+    def test_depthwise_separable_2d_gradients(self):
+        rng = np.random.default_rng(3)
+        model = DepthwiseSeparableConv2d(3, 5, rng=rng)
+        _check_model_gradients(model, rng.normal(size=(2, 3, 6, 6)))
+
+    def test_depthwise_separable_3d_shape(self):
+        rng = np.random.default_rng(4)
+        model = DepthwiseSeparableConv3d(2, 6, rng=rng)
+        out = model(rng.normal(size=(1, 2, 4, 5, 6)))
+        assert out.shape == (1, 6, 4, 5, 6)
+
+    def test_pointwise_has_1x1_kernel(self):
+        layer = PointwiseConv2d(4, 8)
+        assert layer.weight.shape == (8, 4, 1, 1)
+
+    def test_channel_mismatch_raises(self):
+        layer = Conv2d(3, 4, 3)
+        with pytest.raises(ValueError):
+            layer(np.zeros((1, 5, 8, 8)))
+
+    def test_wrong_rank_raises(self):
+        layer = Conv2d(3, 4, 3)
+        with pytest.raises(ValueError):
+            layer(np.zeros((3, 8, 8)))
+
+    def test_even_kernel_same_padding_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 4, padding="same")
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Conv2d(1, 1, 3).backward(np.zeros((1, 1, 4, 4)))
+
+    def test_depthwise_params(self):
+        layer = DepthwiseConv2d(6, 3)
+        assert layer.weight.shape == (6, 3, 3)
+
+
+class TestDenseAndActivations:
+    def test_linear_shapes_and_grads(self):
+        rng = np.random.default_rng(5)
+        model = Sequential(Linear(6, 4, rng=rng), Tanh(), Linear(4, 2, rng=rng))
+        _check_model_gradients(model, rng.normal(size=(5, 6)))
+
+    def test_linear_input_validation(self):
+        with pytest.raises(ValueError):
+            Linear(4, 2)(np.zeros((3, 5)))
+
+    def test_activation_gradients(self):
+        rng = np.random.default_rng(6)
+        for activation in (ReLU(), LeakyReLU(0.1), Sigmoid(), Tanh()):
+            model = Sequential(Linear(4, 4, rng=rng), activation)
+            _check_model_gradients(model, rng.normal(size=(3, 4)))
+
+    def test_identity_passthrough(self):
+        x = np.random.default_rng(7).normal(size=(2, 3))
+        layer = Identity()
+        assert np.array_equal(layer(x), x)
+        assert np.array_equal(layer.backward(x), x)
+
+    def test_sequential_indexing(self):
+        model = Sequential(ReLU(), Sigmoid())
+        assert len(model) == 2
+        assert isinstance(model[0], ReLU)
+
+    def test_sequential_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            Sequential(lambda x: x)

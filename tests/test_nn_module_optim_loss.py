@@ -1,0 +1,133 @@
+"""Unit tests for Module/Parameter plumbing, losses and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Linear, MAELoss, MSELoss, ReLU, SGD, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class TestParameterAndModule:
+    def test_parameter_zero_grad(self):
+        p = Parameter(np.ones((2, 2)))
+        p.grad += 3.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_named_parameters_nested(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+
+    def test_state_dict_round_trip(self):
+        rng = np.random.default_rng(0)
+        model_a = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        model_b = Sequential(Linear(3, 4, rng=np.random.default_rng(9)), Linear(4, 2, rng=np.random.default_rng(10)))
+        model_b.load_state_dict(model_a.state_dict())
+        x = rng.normal(size=(5, 3))
+        assert np.allclose(model_a(x), model_b(x))
+
+    def test_load_state_dict_missing_key(self):
+        model = Sequential(Linear(2, 2))
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = Sequential(Linear(2, 2))
+        state = model.state_dict()
+        state["layer0.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_num_parameters(self):
+        model = Sequential(Linear(3, 4), Linear(4, 2))
+        assert model.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+    def test_base_module_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(np.zeros(2))
+
+
+class TestLosses:
+    def test_mse_value_and_grad(self):
+        loss = MSELoss()
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        assert np.isclose(loss(pred, target), 2.5)
+        assert np.allclose(loss.backward(), [1.0, 2.0])
+
+    def test_mae_value_and_grad(self):
+        loss = MAELoss()
+        pred = np.array([1.0, -2.0])
+        target = np.array([0.0, 0.0])
+        assert np.isclose(loss(pred, target), 1.5)
+        assert np.allclose(loss.backward(), [0.5, -0.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros(3), np.zeros(4))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # minimise ||W x - y||^2 over W with fixed data
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(16, 4))
+        true_w = rng.normal(size=(3, 4))
+        y = x @ true_w.T
+        return layer, x, y
+
+    def _train(self, optimizer_cls, **kwargs):
+        layer, x, y = self._quadratic_problem()
+        optimizer = optimizer_cls(layer.parameters(), **kwargs)
+        loss = MSELoss()
+        initial = loss(layer(x), y)
+        for _ in range(200):
+            optimizer.zero_grad()
+            value = loss(layer(x), y)
+            layer.backward(loss.backward())
+            optimizer.step()
+        return initial, loss(layer(x), y)
+
+    def test_sgd_converges(self):
+        initial, final = self._train(SGD, lr=0.05, momentum=0.9)
+        assert final < 0.05 * initial
+
+    def test_adam_converges(self):
+        initial, final = self._train(Adam, lr=0.05)
+        assert final < 0.05 * initial
+
+    def test_weight_decay_shrinks_weights(self):
+        layer = Linear(3, 3, rng=np.random.default_rng(1))
+        optimizer = SGD(layer.parameters(), lr=0.1, weight_decay=0.5)
+        before = np.linalg.norm(layer.weight.data)
+        for _ in range(20):
+            optimizer.zero_grad()
+            optimizer.step()
+        assert np.linalg.norm(layer.weight.data) < before
+
+    def test_gradient_clipping(self):
+        layer = Linear(2, 2, rng=np.random.default_rng(2))
+        optimizer = SGD(layer.parameters(), lr=0.1)
+        for p in layer.parameters():
+            p.grad[...] = 100.0
+        norm = optimizer.clip_gradients(1.0)
+        assert norm > 1.0
+        total = np.sqrt(sum(np.sum(p.grad**2) for p in layer.parameters()))
+        assert total <= 1.0 + 1e-9
+
+    def test_invalid_arguments(self):
+        layer = Linear(2, 2)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), lr=-1)
+        with pytest.raises(ValueError):
+            SGD(layer.parameters(), lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(layer.parameters(), lr=0.1, betas=(1.5, 0.9))

@@ -1,0 +1,98 @@
+"""Cross-cutting property-based tests of the core compression invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.encoding.container import CompressedBlob
+from repro.sz import ErrorBound, SZCompressor
+from repro.sz.decode import decode_weighted_wavefront, weighted_predict_full
+from repro.sz.pipeline import decode_integer_stream, encode_integer_stream
+from repro.sz.quantizer import dequantize, prequantize
+from repro.zfp import ZFPLikeCompressor
+
+COMMON_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestErrorBoundProperty:
+    @COMMON_SETTINGS
+    @given(
+        arrays(np.float32, (12, 17), elements=st.floats(-1e3, 1e3, width=32)),
+        st.sampled_from([1e-2, 1e-3, 1e-4]),
+        st.sampled_from(["lorenzo", "interpolation"]),
+    )
+    def test_sz_compressor_respects_bound(self, data, rel_eb, predictor):
+        comp = SZCompressor(error_bound=ErrorBound.relative(rel_eb), predictor=predictor)
+        result = comp.compress(data)
+        recon = comp.decompress(result.payload)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+
+    @COMMON_SETTINGS
+    @given(
+        arrays(np.float32, (10, 11), elements=st.floats(-100, 100, width=32)),
+        st.sampled_from([1e-2, 1e-3]),
+    )
+    def test_zfp_like_respects_bound(self, data, rel_eb):
+        comp = ZFPLikeCompressor(error_bound=ErrorBound.relative(rel_eb))
+        result = comp.compress(data)
+        recon = comp.decompress(result.payload)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+
+    @COMMON_SETTINGS
+    @given(
+        arrays(np.float64, (8, 9), elements=st.floats(-1e6, 1e6)),
+        st.floats(1e-4, 10.0),
+    )
+    def test_dual_quant_roundtrip_is_prequant_lattice(self, data, abs_eb):
+        codes = prequantize(data, abs_eb)
+        recon = dequantize(codes, abs_eb, dtype=np.float64)
+        # reconstruction sits exactly on the lattice and within the bound
+        assert np.array_equal(prequantize(recon, abs_eb), codes)
+        assert np.max(np.abs(recon - data)) <= abs_eb * (1 + 1e-9)
+
+
+class TestStreamProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(st.integers(-(2**20), 2**20), min_size=1, max_size=500))
+    def test_integer_stream_roundtrip(self, values):
+        residuals = np.asarray(values, dtype=np.int64)
+        sections, meta = encode_integer_stream(residuals, "huffman", "zlib", radius=1024)
+        assert np.array_equal(decode_integer_stream(sections, meta), residuals)
+
+    @COMMON_SETTINGS
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=8), st.binary(max_size=64), max_size=5),
+        st.dictionaries(st.text(min_size=1, max_size=8), st.integers(-1000, 1000), max_size=5),
+    )
+    def test_container_roundtrip(self, sections, metadata):
+        blob = CompressedBlob(metadata=dict(metadata))
+        for name, payload in sections.items():
+            blob.add_section(name, payload)
+        rebuilt = CompressedBlob.from_bytes(blob.to_bytes())
+        assert rebuilt.metadata == metadata
+        assert rebuilt.sections == dict(sections)
+
+
+class TestDecoderProperties:
+    @COMMON_SETTINGS
+    @given(
+        st.integers(2, 5),
+        st.integers(2, 5),
+        st.integers(2, 4),
+        st.integers(0, 10_000),
+    )
+    def test_wavefront_decoder_inverts_weighted_prediction_3d(self, d0, d1, d2, seed):
+        rng = np.random.default_rng(seed)
+        shape = (d0, d1, d2)
+        codes = rng.integers(-500, 500, size=shape)
+        diffs = [rng.integers(-10, 10, size=shape) for _ in range(3)]
+        raw = rng.uniform(0, 1, size=4)
+        weights = raw / raw.sum()
+        residuals = codes - weighted_predict_full(codes, diffs, weights)
+        assert np.array_equal(decode_weighted_wavefront(residuals, diffs, weights), codes)

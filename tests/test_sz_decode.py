@@ -1,0 +1,87 @@
+"""Unit tests for the weighted-prediction decoders (sequential vs wavefront)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sz.decode import (
+    decode_weighted_sequential,
+    decode_weighted_wavefront,
+    weighted_predict_full,
+)
+
+
+def _random_case(rng, shape, weights=None):
+    ndim = len(shape)
+    codes = rng.integers(-2000, 2000, size=shape)
+    diffs = [rng.integers(-20, 20, size=shape) for _ in range(ndim)]
+    if weights is None:
+        raw = rng.uniform(0.0, 1.0, size=ndim + 1)
+        weights = raw / raw.sum()
+    prediction = weighted_predict_full(codes, diffs, weights)
+    residuals = codes - prediction
+    return codes, diffs, weights, residuals
+
+
+class TestDecoders:
+    @pytest.mark.parametrize("shape", [(23,), (9, 14), (5, 6, 7)])
+    def test_sequential_matches_original(self, shape):
+        rng = np.random.default_rng(0)
+        codes, diffs, weights, residuals = _random_case(rng, shape)
+        assert np.array_equal(decode_weighted_sequential(residuals, diffs, weights), codes)
+
+    @pytest.mark.parametrize("shape", [(23,), (9, 14), (5, 6, 7), (1, 8), (3, 1, 9)])
+    def test_wavefront_matches_original(self, shape):
+        rng = np.random.default_rng(1)
+        codes, diffs, weights, residuals = _random_case(rng, shape)
+        assert np.array_equal(decode_weighted_wavefront(residuals, diffs, weights), codes)
+
+    def test_wavefront_equals_sequential(self):
+        rng = np.random.default_rng(2)
+        codes, diffs, weights, residuals = _random_case(rng, (7, 8, 6))
+        seq = decode_weighted_sequential(residuals, diffs, weights)
+        wav = decode_weighted_wavefront(residuals, diffs, weights)
+        assert np.array_equal(seq, wav)
+
+    def test_pure_lorenzo_weights(self):
+        rng = np.random.default_rng(3)
+        shape = (12, 10)
+        codes, diffs, weights, residuals = _random_case(rng, shape, weights=[1.0, 0.0, 0.0])
+        assert np.array_equal(decode_weighted_wavefront(residuals, diffs, weights), codes)
+
+    def test_pure_cross_field_weights(self):
+        rng = np.random.default_rng(4)
+        shape = (10, 11)
+        codes, diffs, weights, residuals = _random_case(rng, shape, weights=[0.0, 0.5, 0.5])
+        assert np.array_equal(decode_weighted_wavefront(residuals, diffs, weights), codes)
+
+    def test_weight_length_validation(self):
+        with pytest.raises(ValueError):
+            decode_weighted_wavefront(
+                np.zeros((4, 4), dtype=np.int64),
+                [np.zeros((4, 4), dtype=np.int64)] * 2,
+                [0.5, 0.5],
+            )
+
+    def test_diff_shape_validation(self):
+        with pytest.raises(ValueError):
+            decode_weighted_wavefront(
+                np.zeros((4, 4), dtype=np.int64),
+                [np.zeros((3, 3), dtype=np.int64)] * 2,
+                [0.3, 0.3, 0.4],
+            )
+
+    def test_rejects_float_residuals(self):
+        with pytest.raises(TypeError):
+            decode_weighted_wavefront(np.zeros((4, 4)), [np.zeros((4, 4), dtype=np.int64)] * 2, [1, 0, 0])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 100))
+    def test_property_wavefront_equals_sequential(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        codes, diffs, weights, residuals = _random_case(rng, (rows, cols))
+        assert np.array_equal(
+            decode_weighted_sequential(residuals, diffs, weights),
+            decode_weighted_wavefront(residuals, diffs, weights),
+        )

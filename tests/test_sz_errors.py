@@ -1,0 +1,43 @@
+"""Unit tests for error-bound specification."""
+
+import numpy as np
+import pytest
+
+from repro.sz.errors import ErrorBound
+
+
+class TestErrorBound:
+    def test_absolute_resolve(self):
+        eb = ErrorBound.absolute(0.5)
+        assert eb.resolve(np.array([0.0, 100.0])) == 0.5
+
+    def test_relative_resolve(self):
+        eb = ErrorBound.relative(1e-3)
+        data = np.array([0.0, 200.0])
+        assert np.isclose(eb.resolve(data), 0.2)
+
+    def test_relative_constant_data(self):
+        eb = ErrorBound.relative(1e-3)
+        assert eb.resolve(np.full(10, 7.0)) == 1e-3
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ErrorBound("weird", 1e-3)
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            ErrorBound.relative(0.0)
+        with pytest.raises(ValueError):
+            ErrorBound.absolute(-1.0)
+
+    def test_dict_round_trip(self):
+        eb = ErrorBound.relative(5e-4)
+        assert ErrorBound.from_dict(eb.to_dict()) == eb
+
+    def test_frozen(self):
+        eb = ErrorBound.absolute(1.0)
+        with pytest.raises(Exception):
+            eb.value = 2.0
+
+    def test_str(self):
+        assert "rel" in str(ErrorBound.relative(1e-3))

@@ -1,0 +1,116 @@
+"""Unit tests for the local predictors (Lorenzo, regression, interpolation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sz.predictors import (
+    InterpolationPredictor,
+    RegressionPredictor,
+    lorenzo_inverse,
+    lorenzo_predict,
+    lorenzo_transform,
+)
+
+
+class TestLorenzo:
+    def test_2d_formula(self):
+        q = np.arange(12, dtype=np.int64).reshape(3, 4)
+        pred = lorenzo_predict(q)
+        assert pred[0, 0] == 0
+        assert pred[1, 1] == q[0, 1] + q[1, 0] - q[0, 0]
+        assert pred[2, 3] == q[1, 3] + q[2, 2] - q[1, 2]
+
+    def test_exact_on_linear_ramp_2d(self):
+        i, j = np.meshgrid(np.arange(10), np.arange(12), indexing="ij")
+        q = (3 * i + 5 * j).astype(np.int64)
+        residual = lorenzo_transform(q)
+        # a plane is reproduced exactly away from the boundary
+        assert np.all(residual[1:, 1:] == 0)
+
+    def test_exact_on_linear_ramp_3d(self):
+        i, j, k = np.meshgrid(np.arange(6), np.arange(7), np.arange(5), indexing="ij")
+        q = (2 * i - j + 4 * k).astype(np.int64)
+        residual = lorenzo_transform(q)
+        assert np.all(residual[1:, 1:, 1:] == 0)
+
+    def test_roundtrip_1d_2d_3d(self):
+        rng = np.random.default_rng(0)
+        for shape in [(37,), (11, 13), (5, 7, 9)]:
+            q = rng.integers(-10000, 10000, size=shape)
+            assert np.array_equal(lorenzo_inverse(lorenzo_transform(q)), q)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            lorenzo_predict(np.zeros((3, 3)))
+        with pytest.raises(TypeError):
+            lorenzo_inverse(np.zeros((3, 3)))
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            lorenzo_predict(np.zeros((2, 2, 2, 2), dtype=np.int64))
+
+    @settings(max_examples=30, deadline=None)
+    @given(arrays(np.int64, (5, 6), elements=st.integers(-1000, 1000)))
+    def test_property_roundtrip(self, q):
+        assert np.array_equal(lorenzo_inverse(lorenzo_transform(q)), q)
+
+
+class TestRegression:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        q = rng.integers(-500, 500, size=(13, 17))
+        reg = RegressionPredictor(block_size=5)
+        residuals, coeffs = reg.encode(q)
+        assert np.array_equal(reg.decode(residuals, coeffs), q)
+
+    def test_plane_blocks_have_small_residuals(self):
+        i, j = np.meshgrid(np.arange(12), np.arange(12), indexing="ij")
+        q = (10 * i + 7 * j).astype(np.int64)
+        reg = RegressionPredictor(block_size=6)
+        residuals, _ = reg.encode(q)
+        assert np.abs(residuals).max() <= 1  # rounding only
+
+    def test_roundtrip_3d(self):
+        rng = np.random.default_rng(2)
+        q = rng.integers(-50, 50, size=(7, 8, 9))
+        reg = RegressionPredictor(block_size=4)
+        residuals, coeffs = reg.encode(q)
+        assert np.array_equal(reg.decode(residuals, coeffs), q)
+
+    def test_coefficient_count_mismatch(self):
+        reg = RegressionPredictor(block_size=4)
+        residuals, coeffs = reg.encode(np.zeros((8, 8), dtype=np.int64))
+        with pytest.raises(ValueError):
+            reg.decode(np.zeros((12, 12), dtype=np.int64), coeffs)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            RegressionPredictor(block_size=1)
+
+
+class TestInterpolation:
+    def test_roundtrip_various_shapes(self):
+        rng = np.random.default_rng(3)
+        predictor = InterpolationPredictor()
+        for shape in [(17,), (16,), (9, 13), (16, 16), (5, 9, 7), (8, 8, 8), (1, 12)]:
+            q = rng.integers(-300, 300, size=shape)
+            residuals = predictor.encode(q)
+            assert residuals.shape == q.shape
+            assert np.array_equal(predictor.decode(residuals), q)
+
+    def test_linear_data_small_residuals(self):
+        q = (np.arange(33, dtype=np.int64) * 4).reshape(33)
+        predictor = InterpolationPredictor()
+        residuals = predictor.encode(q)
+        # linear interpolation of a linear sequence is exact except the coarse seeds
+        assert np.abs(residuals[1:]).max() <= np.abs(q).max()
+        assert np.count_nonzero(residuals[1:]) < q.size // 2
+
+    def test_roundtrip_smooth_field(self):
+        x = np.linspace(0, 4 * np.pi, 64)
+        q = np.rint(1000 * np.sin(x)[None, :] * np.cos(x)[:, None]).astype(np.int64)
+        predictor = InterpolationPredictor()
+        assert np.array_equal(predictor.decode(predictor.encode(q)), q)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.utils.timing and repro.utils.logging."""
+
+import logging
+import time
+
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer, timed
+
+
+class TestTimer:
+    def test_section_accumulates(self):
+        timer = Timer()
+        with timer.section("work"):
+            time.sleep(0.01)
+        with timer.section("work"):
+            time.sleep(0.01)
+        assert timer.total("work") >= 0.02
+        assert timer.counts["work"] == 2
+
+    def test_unknown_section_is_zero(self):
+        assert Timer().total("missing") == 0.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        timer.reset()
+        assert timer.totals == {}
+
+    def test_summary_contains_sections(self):
+        timer = Timer()
+        with timer.section("alpha"):
+            pass
+        assert "alpha" in timer.summary()
+
+    def test_nested_sections(self):
+        timer = Timer()
+        with timer.section("outer"):
+            with timer.section("inner"):
+                pass
+        assert "outer" in timer.totals and "inner" in timer.totals
+
+
+class TestTimed:
+    def test_records_elapsed(self):
+        @timed
+        def work():
+            time.sleep(0.005)
+            return 42
+
+        assert work() == 42
+        assert work.last_elapsed > 0
+
+
+class TestLogging:
+    def test_base_logger(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger(self):
+        assert get_logger("sz.pipeline").name == "repro.sz.pipeline"
+
+    def test_already_prefixed(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_null_handler_attached(self):
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)

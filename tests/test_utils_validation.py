@@ -1,0 +1,97 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ensure_array,
+    ensure_dtype,
+    ensure_in,
+    ensure_ndim,
+    ensure_positive,
+    ensure_shape_match,
+)
+
+
+class TestEnsureArray:
+    def test_converts_list(self):
+        arr = ensure_array([1.0, 2.0, 3.0])
+        assert isinstance(arr, np.ndarray)
+        assert arr.dtype == np.float64
+
+    def test_keeps_float32(self):
+        arr = ensure_array(np.ones(4, dtype=np.float32))
+        assert arr.dtype == np.float32
+
+    def test_promotes_int_to_float(self):
+        arr = ensure_array(np.arange(5))
+        assert np.issubdtype(arr.dtype, np.floating)
+
+    def test_explicit_dtype(self):
+        arr = ensure_array([1, 2], dtype=np.float32)
+        assert arr.dtype == np.float32
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensure_array(np.zeros((0,)))
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(TypeError):
+            ensure_array(np.array([object()]))
+
+    def test_copy_flag(self):
+        src = np.ones(3, dtype=np.float64)
+        out = ensure_array(src, copy=True)
+        out[0] = 5.0
+        assert src[0] == 1.0
+
+    def test_result_is_contiguous(self):
+        src = np.ones((4, 4), dtype=np.float32)[:, ::2]
+        out = ensure_array(src)
+        assert out.flags["C_CONTIGUOUS"]
+
+
+class TestScalarChecks:
+    def test_ensure_positive_accepts(self):
+        assert ensure_positive(1.5) == 1.5
+
+    def test_ensure_positive_rejects_zero_strict(self):
+        with pytest.raises(ValueError):
+            ensure_positive(0.0)
+
+    def test_ensure_positive_nonstrict_allows_zero(self):
+        assert ensure_positive(0.0, strict=False) == 0.0
+
+    def test_ensure_positive_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_positive(float("nan"))
+
+    def test_ensure_positive_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            ensure_positive([1.0])
+
+    def test_ensure_in(self):
+        assert ensure_in("a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            ensure_in("c", ("a", "b"))
+
+
+class TestArrayChecks:
+    def test_ensure_dtype(self):
+        arr = np.zeros(3, dtype=np.float32)
+        assert ensure_dtype(arr, [np.float32, np.float64]) is arr
+        with pytest.raises(TypeError):
+            ensure_dtype(arr, [np.int64])
+
+    def test_ensure_shape_match(self):
+        a = np.zeros((2, 3))
+        b = np.zeros((2, 3))
+        ensure_shape_match(a, b)
+        with pytest.raises(ValueError):
+            ensure_shape_match(a, np.zeros((3, 2)))
+
+    def test_ensure_ndim(self):
+        arr = np.zeros((2, 2))
+        ensure_ndim(arr, (1, 2))
+        with pytest.raises(ValueError):
+            ensure_ndim(arr, (3,))

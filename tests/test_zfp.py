@@ -1,0 +1,85 @@
+"""Unit tests for the ZFP-style transform compressor."""
+
+import numpy as np
+import pytest
+
+from repro.sz import ErrorBound
+from repro.zfp import ZFPLikeCompressor, block_transform_forward, block_transform_inverse, dct_matrix
+
+
+class TestTransform:
+    def test_dct_orthonormal(self):
+        for n in (2, 4, 8):
+            matrix = dct_matrix(n)
+            assert np.allclose(matrix @ matrix.T, np.eye(n), atol=1e-12)
+
+    def test_transform_round_trip_2d(self):
+        rng = np.random.default_rng(0)
+        block = rng.normal(size=(4, 4))
+        assert np.allclose(block_transform_inverse(block_transform_forward(block)), block, atol=1e-12)
+
+    def test_transform_round_trip_3d(self):
+        rng = np.random.default_rng(1)
+        block = rng.normal(size=(4, 4, 4))
+        assert np.allclose(block_transform_inverse(block_transform_forward(block)), block, atol=1e-12)
+
+    def test_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        block = rng.normal(size=(4, 4))
+        coeffs = block_transform_forward(block)
+        assert np.isclose(np.sum(block**2), np.sum(coeffs**2))
+
+    def test_constant_block_concentrates_energy(self):
+        block = np.full((4, 4), 3.0)
+        coeffs = block_transform_forward(block)
+        assert np.isclose(np.abs(coeffs).sum(), np.abs(coeffs[0, 0]))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+
+class TestZFPLikeCompressor:
+    @pytest.mark.parametrize("field", ["CLDTOT", "FLNT"])
+    def test_error_bound_2d(self, cesm_small, field):
+        data = cesm_small[field].data
+        comp = ZFPLikeCompressor(error_bound=ErrorBound.relative(1e-3))
+        result = comp.compress(data)
+        recon = comp.decompress(result.payload)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+        assert result.ratio > 1.0
+
+    def test_error_bound_3d(self, hurricane_small):
+        data = hurricane_small["Pf"].data
+        comp = ZFPLikeCompressor(error_bound=ErrorBound.relative(1e-3))
+        result = comp.compress(data)
+        recon = comp.decompress(result.payload)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+
+    def test_absolute_bound(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(32, 32)).astype(np.float32)
+        comp = ZFPLikeCompressor(error_bound=ErrorBound.absolute(0.01))
+        recon = comp.decompress(comp.compress(data).payload)
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= 0.01 * (1 + 1e-9)
+
+    def test_tighter_bound_lower_ratio(self, cesm_small):
+        data = cesm_small["FLUT"].data
+        loose = ZFPLikeCompressor(error_bound=ErrorBound.relative(1e-2)).compress(data)
+        tight = ZFPLikeCompressor(error_bound=ErrorBound.relative(1e-4)).compress(data)
+        assert loose.ratio > tight.ratio
+
+    def test_non_multiple_block_shapes(self):
+        rng = np.random.default_rng(1)
+        data = np.cumsum(rng.normal(size=(13, 19)), axis=0).astype(np.float32)
+        comp = ZFPLikeCompressor(error_bound=ErrorBound.relative(1e-3))
+        recon = comp.decompress(comp.compress(data).payload)
+        assert recon.shape == data.shape
+
+    def test_invalid_arguments(self):
+        with pytest.raises(TypeError):
+            ZFPLikeCompressor(error_bound=1e-3)
+        with pytest.raises(ValueError):
+            ZFPLikeCompressor(block_size=1)
+        with pytest.raises(ValueError):
+            ZFPLikeCompressor().compress(np.zeros((2, 2, 2, 2), dtype=np.float32))
