@@ -1,0 +1,76 @@
+"""Microbenchmark: random-access region reads from a chunked archive.
+
+Compares three ways of serving a small region of one field out of a packed
+multi-field archive:
+
+- ``full-decode``: decompress the entire field, then slice (what a
+  single-blob format forces).
+- ``region-cold``: chunked ``read_region`` on a fresh reader — only the
+  chunks intersecting the region are read and decompressed.
+- ``region-hot``: the same read repeated with a warm LRU chunk cache.
+
+The chunked path should beat the full decode by roughly the ratio of total
+chunks to touched chunks, and the hot path should be orders of magnitude
+faster still.
+"""
+
+import time
+
+from conftest import run_once
+
+#: Region of interest: a small window inside a single 32x32 chunk (row chunk 1,
+#: column chunk 2 of the grid).
+REGION = (slice(40, 64), slice(70, 96))
+
+
+def _build_archive(tmp_path):
+    from repro.data.synthetic import make_dataset
+    from repro.store import ArchiveWriter
+    from repro.sz.errors import ErrorBound
+
+    dataset = make_dataset("cesm", shape=(180, 360), seed=21)
+    path = tmp_path / "bench.xfa"
+    with ArchiveWriter(path, chunk_shape=(32, 32), error_bound=ErrorBound.relative(1e-3)) as writer:
+        for name in ("FLNT", "FLNTC", "LWCF"):
+            writer.add_field(name, dataset[name].data)
+    return path
+
+
+def _measure(path):
+    from repro.store import ArchiveReader
+
+    timings = {}
+
+    with ArchiveReader(path) as reader:
+        t0 = time.perf_counter()
+        full = reader.read_field("FLNT")
+        timings["full-decode"] = time.perf_counter() - t0
+        expected = full[REGION]
+        total_chunks = len(reader.field("FLNT").chunks)
+
+    with ArchiveReader(path) as reader:
+        t0 = time.perf_counter()
+        region = reader.read_region("FLNT", REGION)
+        timings["region-cold"] = time.perf_counter() - t0
+        touched = reader.cache_stats()["chunks_decoded"]
+
+        t0 = time.perf_counter()
+        reader.read_region("FLNT", REGION)
+        timings["region-hot"] = time.perf_counter() - t0
+
+    assert (region == expected).all()
+    return {"timings": timings, "total_chunks": total_chunks, "touched_chunks": touched}
+
+
+def test_store_random_access(benchmark, tmp_path):
+    path = _build_archive(tmp_path)
+    result = run_once(benchmark, _measure, path)
+    timings = result["timings"]
+    print("\n=== Archive store: random-access region read ===")
+    print(f"chunks touched: {result['touched_chunks']} / {result['total_chunks']}")
+    for name in ("full-decode", "region-cold", "region-hot"):
+        print(f"{name:<12} {timings[name] * 1e3:9.3f} ms")
+    speedup = timings["full-decode"] / max(timings["region-cold"], 1e-9)
+    print(f"region-cold speedup over full decode: {speedup:.1f}x")
+    assert result["touched_chunks"] < result["total_chunks"]
+    assert timings["region-cold"] < timings["full-decode"]

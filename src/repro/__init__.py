@@ -17,6 +17,8 @@ Scientific Applications" (SC 2024).  The package provides:
   and cross-field correlation measures.
 - :mod:`repro.parallel` — block-parallel compression enabled by dual quantization.
 - :mod:`repro.zfp` — a ZFP-style transform-based compressor for ablations.
+- :mod:`repro.store` — a chunked random-access archive store (``XFA1``) with a
+  codec registry over all compressors and the ``repro`` command line interface.
 - :mod:`repro.experiments` — runners that regenerate every table and figure of
   the paper's evaluation section.
 

@@ -33,7 +33,9 @@ __all__ = [
     "make_hurricane_dataset",
     "make_cesm_dataset",
     "make_dataset",
+    "resolve_dataset_name",
     "DATASET_GENERATORS",
+    "DATASET_ALIASES",
     "PAPER_DIMS",
     "DEFAULT_DIMS",
 ]
@@ -347,6 +349,20 @@ DATASET_GENERATORS: Dict[str, Callable[..., FieldSet]] = {
     "cesm": make_cesm_dataset,
 }
 
+#: SDRBench-style long names accepted as aliases of the generator keys.
+DATASET_ALIASES: Dict[str, str] = {
+    "cesm-atm": "cesm",
+    "scale-letkf": "scale",
+    "hurricane-isabel": "hurricane",
+}
+
+
+def resolve_dataset_name(name: str) -> Optional[str]:
+    """Canonical generator key for ``name`` (alias-aware), or ``None`` if unknown."""
+    key = str(name).lower()
+    key = DATASET_ALIASES.get(key, key)
+    return key if key in DATASET_GENERATORS else None
+
 
 def make_dataset(
     name: str,
@@ -355,10 +371,8 @@ def make_dataset(
     **kwargs,
 ) -> FieldSet:
     """Generate a dataset by name (``"scale"``, ``"hurricane"``, ``"cesm"``)."""
-    key = name.lower()
-    aliases = {"cesm-atm": "cesm", "scale-letkf": "scale", "hurricane-isabel": "hurricane"}
-    key = aliases.get(key, key)
-    if key not in DATASET_GENERATORS:
+    key = resolve_dataset_name(name)
+    if key is None:
         raise ValueError(f"unknown dataset {name!r}; available: {sorted(DATASET_GENERATORS)}")
     generator = DATASET_GENERATORS[key]
     if seed is not None:

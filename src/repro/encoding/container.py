@@ -20,6 +20,7 @@ __all__ = ["CompressedBlob", "pack_sections", "unpack_sections"]
 
 MAGIC = b"XFC1"  # cross-field compression, container version 1
 _HEADER_FMT = "<4sBII"  # magic, version, n_sections, crc32 of the body
+_SECTION_HEADER_FMT = "<HQ"  # name length, payload length
 
 
 @dataclass
@@ -52,8 +53,17 @@ class CompressedBlob:
 
     @property
     def nbytes(self) -> int:
-        """Total serialized size in bytes."""
-        return len(self.to_bytes())
+        """Total serialized size in bytes.
+
+        Computed arithmetically from the header, metadata and section sizes —
+        no serialization happens, so querying the size of a multi-gigabyte
+        blob is free.  Always equals ``len(self.to_bytes())``.
+        """
+        total = struct.calcsize(_HEADER_FMT) + 4 + len(self._metadata_bytes())
+        section_header = struct.calcsize(_SECTION_HEADER_FMT)
+        for name, payload in self.sections.items():
+            total += section_header + len(name.encode("utf-8")) + len(payload)
+        return total
 
     # ------------------------------------------------------------------ #
     # serialization
@@ -69,7 +79,7 @@ class CompressedBlob:
         body += meta_bytes
         for name, payload in self.sections.items():
             name_bytes = name.encode("utf-8")
-            body += struct.pack("<HQ", len(name_bytes), len(payload))
+            body += struct.pack(_SECTION_HEADER_FMT, len(name_bytes), len(payload))
             body += name_bytes
             body += payload
         crc = zlib.crc32(bytes(body)) & 0xFFFFFFFF
@@ -91,14 +101,23 @@ class CompressedBlob:
         if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
             raise ValueError("container CRC mismatch: payload is corrupted")
         offset = 0
+        if len(body) < 4:
+            raise ValueError("container truncated: missing metadata length")
         (meta_len,) = struct.unpack_from("<I", body, offset)
         offset += 4
+        if len(body) < offset + meta_len:
+            raise ValueError("container truncated: metadata shorter than declared")
         metadata = json.loads(body[offset : offset + meta_len].decode("utf-8"))
         offset += meta_len
+        section_header = struct.calcsize(_SECTION_HEADER_FMT)
         sections: Dict[str, bytes] = {}
         for _ in range(n_sections):
-            name_len, payload_len = struct.unpack_from("<HQ", body, offset)
-            offset += struct.calcsize("<HQ")
+            if len(body) < offset + section_header:
+                raise ValueError("container truncated: missing section header")
+            name_len, payload_len = struct.unpack_from(_SECTION_HEADER_FMT, body, offset)
+            offset += section_header
+            if len(body) < offset + name_len + payload_len:
+                raise ValueError("container truncated: section shorter than declared")
             name = body[offset : offset + name_len].decode("utf-8")
             offset += name_len
             sections[name] = bytes(body[offset : offset + payload_len])

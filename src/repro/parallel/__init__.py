@@ -8,11 +8,18 @@ decompresses blocks in parallel while preserving the per-point error bound.
 """
 
 from repro.parallel.blocks import BlockSpec, plan_blocks
-from repro.parallel.executor import BlockParallelCompressor, BlockCompressionResult
+from repro.parallel.executor import (
+    BlockParallelCompressor,
+    BlockCompressionResult,
+    parallel_imap,
+    parallel_map,
+)
 
 __all__ = [
     "BlockSpec",
     "plan_blocks",
     "BlockParallelCompressor",
     "BlockCompressionResult",
+    "parallel_map",
+    "parallel_imap",
 ]

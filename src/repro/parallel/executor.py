@@ -15,6 +15,8 @@ workloads dominated by pure-Python stages.
 from __future__ import annotations
 
 import concurrent.futures
+import os
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,7 +29,62 @@ from repro.sz.errors import ErrorBound
 from repro.sz.pipeline import CompressionResult, SZCompressor
 from repro.utils.validation import ensure_array, ensure_in
 
-__all__ = ["BlockCompressionResult", "BlockParallelCompressor"]
+__all__ = ["BlockCompressionResult", "BlockParallelCompressor", "parallel_map", "parallel_imap"]
+
+EXECUTOR_KINDS = ("thread", "serial")
+
+
+def parallel_map(func, items, executor_kind: str = "thread", max_workers: Optional[int] = None) -> List:
+    """Apply ``func`` to every item, optionally with a thread pool.
+
+    Used by :class:`BlockParallelCompressor`; the chunked archive store
+    (:mod:`repro.store`) streams through :func:`parallel_imap` instead.  Both
+    share the same executor semantics: ``"thread"`` uses a pool (NumPy and
+    zlib release the GIL), ``"serial"`` is the in-process reference loop.
+    Results preserve item order.
+    """
+    return list(parallel_imap(func, items, executor_kind, max_workers))
+
+
+def parallel_imap(func, items, executor_kind: str = "thread", max_workers: Optional[int] = None):
+    """Lazy variant of :func:`parallel_map`: yield results in item order.
+
+    With the thread executor, submissions are windowed to twice the worker
+    count: a new item is only submitted when the consumer has taken a result,
+    so a caller that processes each result as it arrives (e.g. the archive
+    writer streaming chunk payloads to disk) holds at most one window of
+    results in memory even when the workers outpace it — never the whole
+    output list.
+    """
+    # validate and snapshot eagerly — the generator body below only runs on
+    # first iteration, which would otherwise defer (or swallow) the error
+    ensure_in(executor_kind, EXECUTOR_KINDS, "executor_kind")
+    items = list(items)
+    return _imap_generator(func, items, executor_kind, max_workers)
+
+
+def _imap_generator(func, items, executor_kind, max_workers):
+    if executor_kind == "serial" or len(items) <= 1:
+        for item in items:
+            yield func(item)
+        return
+    # mirror ThreadPoolExecutor's own default worker count
+    workers = max_workers if max_workers is not None else min(32, (os.cpu_count() or 1) + 4)
+    window = 2 * workers
+    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        pending = deque(pool.submit(func, item) for item in items[:window])
+        try:
+            for item in items[window:]:
+                yield pending.popleft().result()
+                pending.append(pool.submit(func, item))
+            while pending:
+                yield pending.popleft().result()
+        except BaseException:
+            # a failed item (or an abandoned consumer) must not stall on the
+            # rest of the submission window: drop queued work, keep only the
+            # futures already running
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
 
 @dataclass
@@ -39,6 +96,7 @@ class BlockCompressionResult:
     compressed_nbytes: int
     abs_error_bound: float
     n_blocks: int
+    element_count: int = 0
     block_results: List[CompressionResult] = field(default_factory=list)
 
     @property
@@ -50,8 +108,12 @@ class BlockCompressionResult:
 
     @property
     def bit_rate(self) -> float:
-        """Average compressed bits per value."""
-        element_count = self.original_nbytes // 4 if self.original_nbytes else 0
+        """Average compressed bits per value.
+
+        Uses the stored element count; results built before the count existed
+        (``element_count == 0``) fall back to assuming 4-byte elements.
+        """
+        element_count = self.element_count or (self.original_nbytes // 4)
         if element_count == 0:
             return 0.0
         return 8.0 * self.compressed_nbytes / element_count
@@ -83,7 +145,7 @@ class BlockParallelCompressor:
         max_workers: Optional[int] = None,
         executor_kind: str = "thread",
     ) -> None:
-        ensure_in(executor_kind, ("thread", "serial"), "executor_kind")
+        ensure_in(executor_kind, EXECUTOR_KINDS, "executor_kind")
         self.compressor = compressor if compressor is not None else SZCompressor()
         self.block_shape = block_shape
         self.max_workers = max_workers
@@ -99,10 +161,7 @@ class BlockParallelCompressor:
         return block_shape
 
     def _map(self, func, items):
-        if self.executor_kind == "serial":
-            return [func(item) for item in items]
-        with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(func, items))
+        return parallel_map(func, items, self.executor_kind, self.max_workers)
 
     # ------------------------------------------------------------------ #
     def compress(self, data: np.ndarray, field_name: str = "") -> BlockCompressionResult:
@@ -148,6 +207,7 @@ class BlockParallelCompressor:
             compressed_nbytes=len(payload),
             abs_error_bound=abs_eb,
             n_blocks=len(blocks),
+            element_count=int(data.size),
             block_results=block_results,
         )
 

@@ -1,0 +1,59 @@
+"""Chunked on-disk archive store for compressed scientific fields.
+
+The ``XFA1`` archive format holds many named fields in one file, each split
+into independently compressed chunks with a JSON manifest (per-field dtype,
+shape, chunk grid, codec, error bound; per-chunk offsets and CRCs) enabling
+O(1) random access — :meth:`~repro.store.reader.ArchiveReader.read_region`
+decompresses only the chunks a request intersects.
+
+- :mod:`repro.store.codecs` — the codec registry: the SZ baseline, the
+  ZFP-like transform coder, the paper's cross-field compressor and an exact
+  lossless codec behind one :class:`~repro.store.codecs.Codec` interface;
+  new backends plug in via :func:`~repro.store.codecs.register_codec`.
+- :mod:`repro.store.writer` — streaming-append :class:`ArchiveWriter` with
+  parallel per-chunk compression.
+- :mod:`repro.store.reader` — random-access :class:`ArchiveReader` with
+  CRC re-verification and an LRU decompressed-chunk cache.
+- :mod:`repro.store.cli` — the ``repro`` console script
+  (``pack`` / ``unpack`` / ``ls`` / ``extract`` / ``verify``).
+"""
+
+from repro.store.cache import LRUChunkCache
+from repro.store.codecs import (
+    Codec,
+    CrossFieldChunkCodec,
+    LosslessChunkCodec,
+    SZChunkCodec,
+    ZFPChunkCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.store.manifest import (
+    ArchiveCorruptionError,
+    ArchiveError,
+    ArchiveManifest,
+    ChunkEntry,
+    FieldEntry,
+)
+from repro.store.reader import ArchiveReader
+from repro.store.writer import ArchiveWriter
+
+__all__ = [
+    "ArchiveWriter",
+    "ArchiveReader",
+    "ArchiveManifest",
+    "ChunkEntry",
+    "FieldEntry",
+    "ArchiveError",
+    "ArchiveCorruptionError",
+    "LRUChunkCache",
+    "Codec",
+    "SZChunkCodec",
+    "ZFPChunkCodec",
+    "CrossFieldChunkCodec",
+    "LosslessChunkCodec",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+]

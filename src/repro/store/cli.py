@@ -1,0 +1,322 @@
+"""``repro`` — command line interface to the chunked archive store.
+
+Subcommands drive the store end-to-end::
+
+    repro pack cesm snapshot.xfa --error-bound 1e-3          # synthetic dataset
+    repro pack ./fieldset_dir snapshot.xfa --codec zfp       # SDRBench-style dir
+    repro ls snapshot.xfa
+    repro extract snapshot.xfa FLNT --region 10:40,80:160 -o flnt.npy
+    repro verify snapshot.xfa --deep
+    repro unpack snapshot.xfa ./restored
+
+``pack`` accepts either a directory previously written by
+:func:`repro.data.io.write_fieldset` (a ``manifest.json`` plus raw binary
+fields) or the name of a synthetic dataset generator (``cesm``, ``scale``,
+``hurricane``).  ``--cross-field TARGET=A1,A2`` stores a field with the
+cross-field codec anchored on other fields of the same archive.
+
+Installed as a console script via ``setup.py`` (``pip install -e .`` puts
+``repro`` on the PATH); ``python -m repro.store.cli`` works without install.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.store.manifest import ArchiveError
+
+__all__ = ["main", "build_parser", "parse_region"]
+
+
+# --------------------------------------------------------------------------- #
+# argument helpers
+# --------------------------------------------------------------------------- #
+def parse_region(text: str) -> Tuple[slice, ...]:
+    """Parse a region string like ``"0:10,5:20"`` / ``"3,:,40:80"`` into slices.
+
+    Every comma-separated token is either ``start:stop`` (half-open, either
+    side may be empty), a bare integer (single index, axis kept), or ``:``
+    (full axis).
+    """
+    region: List = []
+    for token in text.split(","):
+        token = token.strip()
+        if token == ":" or token == "":
+            region.append(slice(None))
+        elif ":" in token:
+            parts = token.split(":")
+            if len(parts) != 2:
+                raise ValueError(
+                    f"region token {token!r} must be start:stop (step is not supported; "
+                    "chunked reads materialise contiguous spans)"
+                )
+            lo = int(parts[0]) if parts[0].strip() else None
+            hi = int(parts[1]) if parts[1].strip() else None
+            region.append(slice(lo, hi))
+        else:
+            region.append(int(token))
+    return tuple(region)
+
+
+def _parse_chunk_shape(text: Optional[str]) -> Optional[Tuple[int, ...]]:
+    if not text:
+        return None
+    return tuple(int(tok) for tok in text.split(","))
+
+
+def _parse_cross_field(specs: Sequence[str]) -> Dict[str, Tuple[str, ...]]:
+    mapping: Dict[str, Tuple[str, ...]] = {}
+    for spec in specs:
+        target, sep, anchor_text = spec.partition("=")
+        anchors = tuple(a.strip() for a in anchor_text.split(",") if a.strip())
+        if not sep or not target.strip() or not anchors:
+            raise ArchiveError(
+                f"bad --cross-field spec {spec!r}; expected TARGET=ANCHOR1[,ANCHOR2,...]"
+            )
+        mapping[target.strip()] = anchors
+    return mapping
+
+
+def _load_source_fieldset(source: str, shape: Optional[str], seed: Optional[int]):
+    """Resolve the ``pack`` source: a fieldset directory or a generator name."""
+    from repro.data.io import read_fieldset
+    from repro.data.synthetic import make_dataset, resolve_dataset_name
+
+    path = Path(source)
+    is_dataset = resolve_dataset_name(source) is not None
+    if path.is_dir():
+        # an existing directory always wins over a generator name: silently
+        # packing synthetic data instead of the user's files would be worse
+        # than any error
+        if (path / "manifest.json").exists():
+            if shape or seed is not None:
+                raise ArchiveError(
+                    "--shape/--seed only apply to synthetic dataset sources, "
+                    f"but {source!r} is a fieldset directory"
+                )
+            return read_fieldset(path)
+        if is_dataset:
+            raise ArchiveError(
+                f"pack source {source!r} is both a directory (without a manifest.json) and "
+                "a synthetic dataset name; rename the directory, run from elsewhere, or "
+                "point at a packed fieldset"
+            )
+        raise ArchiveError(
+            f"pack source {source!r} is a directory without a manifest.json "
+            "(not a packed fieldset) and not a known synthetic dataset name"
+        )
+    if is_dataset:
+        # generator errors (bad --shape rank, ...) propagate with their own message
+        return make_dataset(source, shape=_parse_chunk_shape(shape), seed=seed)
+    raise ArchiveError(
+        f"pack source {source!r} is neither a fieldset directory (with manifest.json) "
+        "nor a known synthetic dataset name"
+    )
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024.0 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GB"  # pragma: no cover - unreachable
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.store.writer import ArchiveWriter
+    from repro.sz.errors import ErrorBound
+
+    fieldset = _load_source_fieldset(args.source, args.shape, args.seed)
+    if args.fields:
+        fieldset = fieldset.subset([f.strip() for f in args.fields.split(",")])
+    cross_field = _parse_cross_field(args.cross_field)
+    error_bound = (
+        ErrorBound.absolute(args.error_bound)
+        if args.mode == "abs"
+        else ErrorBound.relative(args.error_bound)
+    )
+    with ArchiveWriter(
+        args.archive,
+        codec=args.codec,
+        error_bound=error_bound,
+        chunk_shape=_parse_chunk_shape(args.chunk),
+        max_workers=args.workers,
+        attrs={"source": str(args.source), "dataset": fieldset.name},
+    ) as writer:
+        entries = writer.add_fieldset(fieldset, cross_field=cross_field)
+    total_in = sum(e.original_nbytes for e in entries.values())
+    total_out = sum(e.compressed_nbytes for e in entries.values())
+    ratio = total_in / total_out if total_out else float("inf")
+    print(
+        f"packed {len(entries)} fields into {args.archive}: "
+        f"{_human_bytes(total_in)} -> {_human_bytes(total_out)} (ratio {ratio:.2f}x)"
+    )
+    return 0
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    from repro.store.reader import ArchiveReader
+
+    with ArchiveReader(args.archive) as reader:
+        if args.json:
+            payload = [entry.to_dict() for entry in reader.fields()]
+            for entry in payload:
+                entry.pop("chunks")  # offsets are noise for a listing
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"{'field':<12} {'shape':<16} {'dtype':<8} {'codec':<12} "
+              f"{'chunks':>6} {'size':>10} {'ratio':>7}  anchors")
+        for entry in reader.fields():
+            anchors = ",".join(entry.anchors) if entry.anchors else "-"
+            print(
+                f"{entry.name:<12} {'x'.join(map(str, entry.shape)):<16} {entry.dtype:<8} "
+                f"{entry.codec:<12} {len(entry.chunks):>6} "
+                f"{_human_bytes(entry.compressed_nbytes):>10} {entry.ratio:>6.2f}x  {anchors}"
+            )
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.store.reader import ArchiveReader
+
+    region = parse_region(args.region) if args.region else None
+    with ArchiveReader(args.archive) as reader:
+        data = reader.read_region(args.field, region)
+        stats = reader.cache_stats()
+    if args.output:
+        np.save(args.output, data)
+        destination = args.output if str(args.output).endswith(".npy") else f"{args.output}.npy"
+        print(f"wrote {destination}: shape {data.shape}, dtype {data.dtype}")
+    print(
+        f"{args.field}{' ' + args.region if args.region else ''}: shape {tuple(data.shape)}, "
+        f"min {data.min():.6g}, max {data.max():.6g}, mean {data.mean():.6g} "
+        f"({stats['chunks_decoded']} chunks decompressed)"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.store.reader import ArchiveReader
+
+    with ArchiveReader(args.archive) as reader:
+        report = reader.verify(deep=args.deep)
+    mode = "deep" if args.deep else "crc"
+    for name, field_report in report["fields"].items():
+        status = "ok" if field_report["ok"] else "CORRUPTED"
+        print(f"{name:<12} {field_report['chunks']:>5} chunks  {status}")
+    for error in report["errors"]:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"{mode} verification {'passed' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_unpack(args: argparse.Namespace) -> int:
+    from repro.data.fields import Field, FieldSet
+    from repro.data.io import write_fieldset
+    from repro.store.reader import ArchiveReader
+
+    with ArchiveReader(args.archive) as reader:
+        names = (
+            [f.strip() for f in args.fields.split(",")] if args.fields else reader.names
+        )
+        fieldset = FieldSet(
+            [Field(name, reader.read_field(name)) for name in names],
+            name=str(reader.attrs.get("dataset", "archive")),
+        )
+        # preserve the archive's precision: write_fieldset stores one dtype
+        # for the whole set, so promote to the widest stored dtype
+        dtype = np.result_type(*[np.dtype(reader.field(name).dtype) for name in names])
+    write_fieldset(fieldset, args.destination, dtype=dtype)
+    print(f"unpacked {len(names)} fields to {args.destination} (dtype {dtype})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (exposed for the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chunked archive store for error-bounded compressed scientific fields.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pack = sub.add_parser("pack", help="compress a fieldset into an archive")
+    pack.add_argument("source", help="fieldset directory or synthetic dataset name (cesm/scale/hurricane)")
+    pack.add_argument("archive", help="output archive path")
+    pack.add_argument("--codec", default="sz", help="default codec for all fields (default: sz)")
+    pack.add_argument("--error-bound", type=float, default=1e-3, help="error bound value (default: 1e-3)")
+    pack.add_argument("--mode", choices=("rel", "abs"), default="rel", help="error bound mode (default: rel)")
+    pack.add_argument("--chunk", help="chunk shape, comma separated (default: 64 per axis)")
+    pack.add_argument("--fields", help="comma-separated subset of fields to pack")
+    pack.add_argument("--workers", type=int, default=None, help="compression worker threads")
+    pack.add_argument("--shape", help="grid shape for synthetic datasets, comma separated")
+    pack.add_argument("--seed", type=int, default=None, help="seed for synthetic datasets")
+    pack.add_argument(
+        "--cross-field",
+        action="append",
+        default=[],
+        metavar="TARGET=A1,A2",
+        help="store TARGET with the cross-field codec anchored on fields A1,A2 (repeatable)",
+    )
+    pack.set_defaults(func=_cmd_pack)
+
+    ls = sub.add_parser("ls", help="list the fields of an archive")
+    ls.add_argument("archive")
+    ls.add_argument("--json", action="store_true", help="machine-readable output")
+    ls.set_defaults(func=_cmd_ls)
+
+    extract = sub.add_parser("extract", help="read a field (or region) out of an archive")
+    extract.add_argument("archive")
+    extract.add_argument("field")
+    extract.add_argument(
+        "--region",
+        help='region slices, e.g. "0:10,5:20" or "3,:,40:80"; negative bounds need '
+        'the = form: --region=-10:,:-5',
+    )
+    extract.add_argument("-o", "--output", help="write the region to a .npy file")
+    extract.set_defaults(func=_cmd_extract)
+
+    verify = sub.add_parser("verify", help="check chunk CRCs (and optionally decode)")
+    verify.add_argument("archive")
+    verify.add_argument("--deep", action="store_true", help="also decompress every chunk")
+    verify.set_defaults(func=_cmd_verify)
+
+    unpack = sub.add_parser("unpack", help="decompress an archive back into a fieldset directory")
+    unpack.add_argument("archive")
+    unpack.add_argument("destination")
+    unpack.add_argument("--fields", help="comma-separated subset of fields to unpack")
+    unpack.set_defaults(func=_cmd_unpack)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console-script entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError, KeyError) as exc:
+        # ArchiveError/ArchiveCorruptionError are ValueError subclasses; plain
+        # ValueError also covers malformed --region/--chunk/--shape strings
+        # and unknown codec names; OSError covers missing, unreadable and
+        # directory paths.  KeyError.__str__ would wrap the message in
+        # spurious quotes, so unwrap its argument.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CLI docs
+    sys.exit(main())

@@ -1,0 +1,387 @@
+"""On-disk layout and manifest of the ``XFA1`` chunked archive format.
+
+An archive is a single file holding many named fields, each split into
+independently compressed chunks::
+
+    +--------------------+  offset 0
+    | header (16 bytes)  |  magic "XFA1", format version, reserved
+    +--------------------+
+    | chunk payloads     |  codec output, appended in write order
+    | ...                |
+    +--------------------+  manifest_offset
+    | manifest (JSON)    |  fields, chunk grids, offsets, CRCs, codecs
+    +--------------------+
+    | footer (24 bytes)  |  manifest offset/length/CRC32, magic "XFA1"
+    +--------------------+
+
+Random access works footer-first: a reader seeks to the end, locates and
+CRC-verifies the JSON manifest, and from then on every chunk of every field is
+one ``seek`` + ``read`` away.  Chunk payloads are opaque to this module — the
+codec named in the field entry (see :mod:`repro.store.codecs`) produced them.
+
+This module owns the byte-level header/footer framing, the manifest
+dataclasses, and the chunk-grid arithmetic used to map a region of interest to
+the set of intersecting chunks.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "ArchiveError",
+    "ArchiveCorruptionError",
+    "ChunkEntry",
+    "FieldEntry",
+    "ArchiveManifest",
+    "chunk_grid_counts",
+    "chunks_intersecting_region",
+    "normalize_region",
+]
+
+MAGIC = b"XFA1"  # cross-field archive, format version 1
+FORMAT_VERSION = 1
+
+_HEADER_FMT = "<4sB11x"  # magic, version, 11 reserved bytes
+_FOOTER_FMT = "<QQI4s"  # manifest offset, manifest length, manifest crc32, magic
+HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+FOOTER_SIZE = struct.calcsize(_FOOTER_FMT)
+
+
+class ArchiveError(ValueError):
+    """Base error for malformed archives and invalid store requests."""
+
+
+class ArchiveCorruptionError(ArchiveError):
+    """Raised when a CRC check fails or framing bytes are inconsistent."""
+
+
+# --------------------------------------------------------------------------- #
+# header / footer framing
+# --------------------------------------------------------------------------- #
+def pack_header() -> bytes:
+    """Serialize the fixed-size archive header."""
+    return struct.pack(_HEADER_FMT, MAGIC, FORMAT_VERSION)
+
+
+def unpack_header(payload: bytes) -> int:
+    """Validate the header bytes and return the format version."""
+    if len(payload) < HEADER_SIZE:
+        raise ArchiveCorruptionError("file too small to hold an XFA1 header")
+    magic, version = struct.unpack_from(_HEADER_FMT, payload, 0)
+    if magic != MAGIC:
+        raise ArchiveCorruptionError(f"bad magic {magic!r}; not an XFA1 archive")
+    if version != FORMAT_VERSION:
+        raise ArchiveError(f"unsupported archive format version {version}")
+    return int(version)
+
+
+def pack_footer(manifest_offset: int, manifest_length: int, manifest_crc: int) -> bytes:
+    """Serialize the fixed-size archive footer."""
+    return struct.pack(_FOOTER_FMT, manifest_offset, manifest_length, manifest_crc, MAGIC)
+
+
+def unpack_footer(payload: bytes) -> Tuple[int, int, int]:
+    """Parse footer bytes into ``(manifest_offset, manifest_length, manifest_crc)``."""
+    if len(payload) < FOOTER_SIZE:
+        raise ArchiveCorruptionError("file too small to hold an XFA1 footer")
+    offset, length, crc, magic = struct.unpack_from(_FOOTER_FMT, payload, len(payload) - FOOTER_SIZE)
+    if magic != MAGIC:
+        raise ArchiveCorruptionError(
+            "bad footer magic: archive is truncated or was not closed cleanly"
+        )
+    return int(offset), int(length), int(crc)
+
+
+# --------------------------------------------------------------------------- #
+# manifest dataclasses
+# --------------------------------------------------------------------------- #
+@dataclass
+class ChunkEntry:
+    """One compressed chunk: its grid position and where its bytes live."""
+
+    index: int
+    start: Tuple[int, ...]
+    stop: Tuple[int, ...]
+    offset: int
+    length: int
+    crc32: int
+
+    @property
+    def slices(self) -> Tuple[slice, ...]:
+        """Slices selecting this chunk out of the full field."""
+        return tuple(slice(a, b) for a, b in zip(self.start, self.stop))
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the decompressed chunk."""
+        return tuple(b - a for a, b in zip(self.start, self.stop))
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        return {
+            "index": int(self.index),
+            "start": [int(v) for v in self.start],
+            "stop": [int(v) for v in self.stop],
+            "offset": int(self.offset),
+            "length": int(self.length),
+            "crc32": int(self.crc32),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ChunkEntry":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(payload["index"]),
+            start=tuple(int(v) for v in payload["start"]),
+            stop=tuple(int(v) for v in payload["stop"]),
+            offset=int(payload["offset"]),
+            length=int(payload["length"]),
+            crc32=int(payload["crc32"]),
+        )
+
+
+@dataclass
+class FieldEntry:
+    """Everything a reader needs to reconstruct (part of) one stored field."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    chunk_shape: Tuple[int, ...]
+    codec: str
+    codec_params: Dict = field(default_factory=dict)
+    anchors: Tuple[str, ...] = ()
+    abs_error_bound: Optional[float] = None
+    error_bound: Optional[Dict] = None
+    original_nbytes: int = 0
+    chunks: List[ChunkEntry] = field(default_factory=list)
+
+    @property
+    def compressed_nbytes(self) -> int:
+        """Total payload bytes across all chunks (manifest overhead excluded)."""
+        return sum(c.length for c in self.chunks)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio of this field."""
+        compressed = self.compressed_nbytes
+        if compressed == 0:
+            return float("inf")
+        return self.original_nbytes / compressed
+
+    @property
+    def grid_counts(self) -> Tuple[int, ...]:
+        """Number of chunks along every axis."""
+        return chunk_grid_counts(self.shape, self.chunk_shape)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        payload = {
+            "name": self.name,
+            "dtype": self.dtype,
+            "shape": [int(s) for s in self.shape],
+            "chunk_shape": [int(s) for s in self.chunk_shape],
+            "codec": self.codec,
+            "codec_params": self.codec_params,
+            "anchors": list(self.anchors),
+            "abs_error_bound": self.abs_error_bound,
+            "error_bound": self.error_bound,
+            "original_nbytes": int(self.original_nbytes),
+            "chunks": [c.to_dict() for c in self.chunks],
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FieldEntry":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            np.dtype(payload["dtype"])
+        except TypeError as exc:
+            raise ArchiveCorruptionError(
+                f"field {payload.get('name')!r}: manifest dtype {payload['dtype']!r} "
+                "is not a valid dtype"
+            ) from exc
+        shape = tuple(int(s) for s in payload["shape"])
+        chunk_shape = tuple(int(s) for s in payload["chunk_shape"])
+        if any(s <= 0 for s in shape) or any(c <= 0 for c in chunk_shape):
+            raise ArchiveCorruptionError(
+                f"field {payload.get('name')!r}: manifest shape {shape} / "
+                f"chunk_shape {chunk_shape} entries must be positive"
+            )
+        if len(chunk_shape) != len(shape):
+            raise ArchiveCorruptionError(
+                f"field {payload.get('name')!r}: chunk_shape rank {len(chunk_shape)} "
+                f"does not match shape rank {len(shape)}"
+            )
+        chunks = [ChunkEntry.from_dict(c) for c in payload.get("chunks", [])]
+        # the read path trusts each chunk's start/stop when assembling region
+        # output, so a geometrically inconsistent (but CRC-valid) manifest
+        # must be rejected here rather than silently yield garbage reads
+        counts = chunk_grid_counts(shape, chunk_shape)
+        total = int(np.prod(counts))
+        if len(chunks) > total:
+            raise ArchiveCorruptionError(
+                f"field {payload.get('name')!r}: manifest lists {len(chunks)} chunks "
+                f"but the chunk grid {counts} holds only {total}"
+            )
+        for position, chunk in enumerate(chunks):
+            coord = np.unravel_index(position, counts)
+            start = tuple(int(c) * b for c, b in zip(coord, chunk_shape))
+            stop = tuple(min(a + b, s) for a, b, s in zip(start, chunk_shape, shape))
+            if chunk.index != position or chunk.start != start or chunk.stop != stop:
+                raise ArchiveCorruptionError(
+                    f"field {payload.get('name')!r}: chunk at position {position} has "
+                    f"extents {chunk.start}..{chunk.stop} (index {chunk.index}), but the "
+                    f"chunk grid implies {start}..{stop} (index {position})"
+                )
+        return cls(
+            name=payload["name"],
+            dtype=payload["dtype"],
+            shape=shape,
+            chunk_shape=chunk_shape,
+            codec=payload["codec"],
+            codec_params=dict(payload.get("codec_params", {})),
+            anchors=tuple(payload.get("anchors", ())),
+            abs_error_bound=payload.get("abs_error_bound"),
+            error_bound=payload.get("error_bound"),
+            original_nbytes=int(payload.get("original_nbytes", 0)),
+            chunks=chunks,
+        )
+
+
+@dataclass
+class ArchiveManifest:
+    """Ordered collection of :class:`FieldEntry` plus archive-level metadata."""
+
+    fields: Dict[str, FieldEntry] = field(default_factory=dict)
+    attrs: Dict = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    def add(self, entry: FieldEntry) -> None:
+        """Register a field entry, rejecting duplicates."""
+        if entry.name in self.fields:
+            raise ArchiveError(f"duplicate field name {entry.name!r}")
+        self.fields[entry.name] = entry
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def __getitem__(self, name: str) -> FieldEntry:
+        if name not in self.fields:
+            raise KeyError(f"no field named {name!r}; available: {sorted(self.fields)}")
+        return self.fields[name]
+
+    @property
+    def names(self) -> List[str]:
+        """Field names in write order."""
+        return list(self.fields.keys())
+
+    def to_json(self) -> bytes:
+        """Serialize to the canonical UTF-8 JSON form stored in the archive."""
+        payload = {
+            "format": MAGIC.decode("ascii"),
+            "version": self.version,
+            "attrs": self.attrs,
+            "fields": [entry.to_dict() for entry in self.fields.values()],
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, payload: bytes) -> "ArchiveManifest":
+        """Parse the JSON produced by :meth:`to_json`."""
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArchiveCorruptionError(f"manifest is not valid JSON: {exc}") from exc
+        if decoded.get("format") != MAGIC.decode("ascii"):
+            raise ArchiveCorruptionError("manifest format tag mismatch")
+        manifest = cls(version=int(decoded.get("version", FORMAT_VERSION)), attrs=dict(decoded.get("attrs", {})))
+        for entry in decoded.get("fields", []):
+            manifest.add(FieldEntry.from_dict(entry))
+        return manifest
+
+    def checked_json(self) -> Tuple[bytes, int]:
+        """Return ``(json_bytes, crc32)`` ready for the footer."""
+        payload = self.to_json()
+        return payload, zlib.crc32(payload) & 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- #
+# chunk-grid arithmetic
+# --------------------------------------------------------------------------- #
+def chunk_grid_counts(shape: Sequence[int], chunk_shape: Sequence[int]) -> Tuple[int, ...]:
+    """Number of chunks along every axis when tiling ``shape`` with ``chunk_shape``."""
+    return tuple(int(np.ceil(s / c)) for s, c in zip(shape, chunk_shape))
+
+
+def normalize_region(shape: Sequence[int], region) -> Tuple[slice, ...]:
+    """Normalise a region-of-interest into full-rank, bounded, positive slices.
+
+    ``region`` may be a single slice/int, a tuple mixing slices and ints
+    (``data[3, 10:20]`` style), or ``None``/``Ellipsis`` for the whole field.
+    Integers select the single-element slice (the axis is kept, matching the
+    behaviour needed to reassemble chunk overlaps); steps other than 1 are
+    rejected because chunked reads materialise contiguous spans.
+    """
+    shape = tuple(int(s) for s in shape)
+    if region is None or region is Ellipsis:
+        return tuple(slice(0, s) for s in shape)
+    if not isinstance(region, tuple):
+        region = (region,)
+    if len(region) > len(shape):
+        raise ArchiveError(f"region rank {len(region)} exceeds field rank {len(shape)}")
+    out: List[slice] = []
+    for axis, size in enumerate(shape):
+        if axis >= len(region):
+            out.append(slice(0, size))
+            continue
+        item = region[axis]
+        if isinstance(item, (int, np.integer)):
+            idx = int(item)
+            if idx < 0:
+                idx += size
+            if not 0 <= idx < size:
+                raise ArchiveError(f"index {item} out of bounds for axis {axis} with size {size}")
+            out.append(slice(idx, idx + 1))
+            continue
+        if not isinstance(item, slice):
+            raise ArchiveError(f"region entries must be slices or ints, got {type(item).__name__}")
+        if item.step not in (None, 1):
+            raise ArchiveError("region slices must have step 1")
+        start, stop, _ = item.indices(size)
+        if stop <= start:
+            raise ArchiveError(f"empty region on axis {axis}: {item}")
+        out.append(slice(start, stop))
+    return tuple(out)
+
+
+def chunks_intersecting_region(
+    shape: Sequence[int], chunk_shape: Sequence[int], region: Tuple[slice, ...]
+) -> List[int]:
+    """Flat indices of the chunks that intersect ``region``.
+
+    The grid is regular, so the intersecting chunk range along every axis is a
+    closed interval computed by integer division — no scan over the chunk list
+    is needed; the cost is proportional to the number of *intersecting*
+    chunks, not the total number of chunks.
+    """
+    counts = chunk_grid_counts(shape, chunk_shape)
+    axis_ranges = []
+    for sl, chunk, count in zip(region, chunk_shape, counts):
+        first = sl.start // chunk
+        last = (sl.stop - 1) // chunk
+        axis_ranges.append(range(first, min(last, count - 1) + 1))
+    indices = []
+    for coords in np.ndindex(*[len(r) for r in axis_ranges]):
+        grid_coord = tuple(axis_ranges[d][coords[d]] for d in range(len(axis_ranges)))
+        indices.append(int(np.ravel_multi_index(grid_coord, counts)))
+    return indices

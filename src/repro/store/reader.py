@@ -1,0 +1,345 @@
+"""Random-access reads from ``XFA1`` archives.
+
+:class:`ArchiveReader` opens an archive footer-first, keeps the JSON manifest
+in memory, and serves :meth:`~ArchiveReader.read_region` requests by touching
+only the chunks that intersect the requested slices — each chunk is one
+``seek`` + ``read`` + CRC check + decode, with decoded chunks kept in an LRU
+cache so repeated reads of nearby regions are served hot.
+
+The chunk-fetch engine lives in :class:`ChunkFetcher`, shared with
+:class:`~repro.store.writer.ArchiveWriter`: the writer uses the same code to
+reconstruct anchor chunks for cross-field fields, guaranteeing that encode and
+decode see bit-identical anchor data.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.store.cache import DEFAULT_CACHE_BYTES, LRUChunkCache
+from repro.store.codecs import Codec, get_codec
+from repro.store.manifest import (
+    ArchiveCorruptionError,
+    ArchiveError,
+    ArchiveManifest,
+    ChunkEntry,
+    FieldEntry,
+    FOOTER_SIZE,
+    HEADER_SIZE,
+    chunks_intersecting_region,
+    normalize_region,
+    unpack_footer,
+    unpack_header,
+)
+
+__all__ = ["ArchiveReader", "ChunkFetcher"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class ChunkFetcher:
+    """Reads, CRC-verifies, decodes and caches chunks of one archive.
+
+    ``lookup`` maps a field name to its :class:`FieldEntry`; the file handle
+    must stay open for the fetcher's lifetime.  Anchor chunks of cross-field
+    fields are fetched recursively through the same cache, so decoding one
+    cross-field chunk warms the cache for its anchors too.
+    """
+
+    def __init__(
+        self,
+        fh: BinaryIO,
+        lookup: Callable[[str], FieldEntry],
+        cache: Optional[LRUChunkCache] = None,
+    ) -> None:
+        self._fh = fh
+        self._lookup = lookup
+        self.cache = cache if cache is not None else LRUChunkCache()
+        self._codecs: Dict[str, Codec] = {}
+        # The file handle (seek+read) and the LRU cache are not thread-safe;
+        # codec decodes run outside both locks so concurrent fetchers (the
+        # writer's compression workers reconstructing anchors) only serialise
+        # on the cheap I/O and cache bookkeeping.  ``io_lock`` is shared with
+        # the writer, which takes it around its own appends to the handle.
+        self.io_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+        #: Number of actual codec decodes performed (cache hits excluded).
+        self.chunks_decoded = 0
+        #: Total payload bytes read from disk.
+        self.bytes_read = 0
+
+    def codec_for(self, entry: FieldEntry) -> Codec:
+        """Instantiate (once) the codec recorded in a field entry."""
+        with self._cache_lock:
+            if entry.name not in self._codecs:
+                self._codecs[entry.name] = get_codec(entry.codec, **entry.codec_params)
+            return self._codecs[entry.name]
+
+    def read_payload(self, entry: FieldEntry, chunk: ChunkEntry) -> bytes:
+        """Read one chunk's raw payload and verify its CRC."""
+        with self.io_lock:
+            self._fh.seek(chunk.offset)
+            payload = self._fh.read(chunk.length)
+            self.bytes_read += len(payload)
+        if len(payload) != chunk.length:
+            raise ArchiveCorruptionError(
+                f"field {entry.name!r} chunk {chunk.index}: archive truncated "
+                f"(wanted {chunk.length} bytes at offset {chunk.offset}, got {len(payload)})"
+            )
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != chunk.crc32:
+            raise ArchiveCorruptionError(
+                f"field {entry.name!r} chunk {chunk.index}: CRC mismatch, chunk is corrupted"
+            )
+        return payload
+
+    def get_chunk(
+        self,
+        name: str,
+        index: int,
+        refresh: bool = False,
+        _fresh: Optional[set] = None,
+    ) -> np.ndarray:
+        """Return the decompressed chunk ``index`` of field ``name`` (cached).
+
+        ``refresh=True`` bypasses the cache lookup and forces a fresh disk
+        read + CRC check + decode (used by deep verification); the result
+        still replaces the cache entry.  ``_fresh`` is deep verification's
+        per-pass memo: chunks it already re-decoded in this pass may be served
+        from cache again (each chunk is verified exactly once per pass even
+        when several cross-field targets share it as an anchor).
+        """
+        key = (name, int(index))
+        if refresh and _fresh is not None and key in _fresh:
+            with self._cache_lock:
+                cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            # evicted since it was verified: fall through to a fresh decode
+        if not refresh:
+            with self._cache_lock:
+                cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        entry = self._lookup(name)
+        if not 0 <= index < len(entry.chunks):
+            raise ArchiveCorruptionError(
+                f"field {name!r}: manifest lists {len(entry.chunks)} chunks but the "
+                f"chunk grid {entry.grid_counts} implies chunk {index} should exist"
+            )
+        chunk = entry.chunks[index]
+        if chunk.index != index:  # pragma: no cover - manifest is written in order
+            raise ArchiveCorruptionError(
+                f"field {name!r}: chunk list out of order ({chunk.index} at position {index})"
+            )
+        payload = self.read_payload(entry, chunk)
+        anchors = None
+        if entry.anchors:
+            # refresh propagates: a deep verify must not decode the target
+            # against stale cached anchors (the memo keeps that one-decode-
+            # per-chunk within a single pass)
+            anchors = [
+                self.get_chunk(anchor, index, refresh=refresh, _fresh=_fresh)
+                for anchor in entry.anchors
+            ]
+        decoded = self.codec_for(entry).decode(payload, anchors=anchors)
+        expected_dtype = np.dtype(entry.dtype)
+        if decoded.shape != chunk.shape:
+            raise ArchiveCorruptionError(
+                f"field {name!r} chunk {index}: decoded shape {decoded.shape} "
+                f"does not match manifest shape {chunk.shape}"
+            )
+        if decoded.dtype != expected_dtype:
+            decoded = decoded.astype(expected_dtype)
+        with self._cache_lock:
+            self.cache.put(key, decoded)
+            self.chunks_decoded += 1
+        if _fresh is not None:
+            _fresh.add(key)
+        return decoded
+
+
+class ArchiveReader:
+    """Random-access reader for one ``XFA1`` archive file.
+
+    Examples
+    --------
+    >>> from repro.store import ArchiveReader  # doctest: +SKIP
+    >>> with ArchiveReader("snapshot.xfa") as reader:  # doctest: +SKIP
+    ...     window = reader.read_region("T", (slice(0, 10), slice(40, 80)))
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        cache_entries: Optional[int] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._fh: Optional[BinaryIO] = open(self.path, "rb")
+        try:
+            self.manifest = self._load_manifest(self._fh)
+        except Exception:
+            self._fh.close()
+            self._fh = None
+            raise
+        self._fetcher = ChunkFetcher(
+            self._fh,
+            self.manifest.__getitem__,
+            LRUChunkCache(max_bytes=cache_bytes, max_entries=cache_entries),
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _load_manifest(fh: BinaryIO) -> ArchiveManifest:
+        fh.seek(0, os.SEEK_END)
+        file_size = fh.tell()
+        if file_size < HEADER_SIZE + FOOTER_SIZE:
+            raise ArchiveCorruptionError("file too small to be an XFA1 archive")
+        fh.seek(0)
+        unpack_header(fh.read(HEADER_SIZE))
+        fh.seek(file_size - FOOTER_SIZE)
+        offset, length, crc = unpack_footer(fh.read(FOOTER_SIZE))
+        if offset + length > file_size - FOOTER_SIZE:
+            raise ArchiveCorruptionError("footer points past the end of the file")
+        fh.seek(offset)
+        manifest_bytes = fh.read(length)
+        if (zlib.crc32(manifest_bytes) & 0xFFFFFFFF) != crc:
+            raise ArchiveCorruptionError("manifest CRC mismatch: archive is corrupted")
+        return ArchiveManifest.from_json(manifest_bytes)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ArchiveReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._fh is None:
+            raise ArchiveError("archive reader is closed")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> List[str]:
+        """Stored field names in write order."""
+        return self.manifest.names
+
+    @property
+    def attrs(self) -> Dict:
+        """Archive-level attributes recorded at write time."""
+        return self.manifest.attrs
+
+    def field(self, name: str) -> FieldEntry:
+        """Manifest entry of one field."""
+        return self.manifest[name]
+
+    def fields(self) -> List[FieldEntry]:
+        """All manifest entries in write order."""
+        return [self.manifest[name] for name in self.names]
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Chunk-cache statistics plus decode/IO counters."""
+        stats = self._fetcher.cache.stats()
+        stats["chunks_decoded"] = self._fetcher.chunks_decoded
+        stats["bytes_read"] = self._fetcher.bytes_read
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def read_field(self, name: str) -> np.ndarray:
+        """Decompress and return one whole field."""
+        return self.read_region(name, None)
+
+    def read_region(self, name: str, region=None) -> np.ndarray:
+        """Return the sub-array of ``name`` selected by ``region``.
+
+        ``region`` is a tuple of slices/ints (trailing axes default to full
+        extent; ``None`` reads the whole field).  Only chunks intersecting the
+        region are read from disk and decompressed.
+        """
+        self._require_open()
+        entry = self.manifest[name]
+        sls = normalize_region(entry.shape, region)
+        out_shape = tuple(sl.stop - sl.start for sl in sls)
+        out = np.empty(out_shape, dtype=np.dtype(entry.dtype))
+        for index in chunks_intersecting_region(entry.shape, entry.chunk_shape, sls):
+            # get_chunk first: it bounds-checks `index` against the (possibly
+            # malformed) manifest chunk list before we index into it
+            chunk = self._fetcher.get_chunk(name, index)
+            chunk_entry = entry.chunks[index]
+            dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
+            out[dest] = chunk[src]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # integrity
+    # ------------------------------------------------------------------ #
+    def verify(self, deep: bool = False) -> Dict:
+        """Check every chunk of every field.
+
+        Shallow verification re-reads each payload and checks its CRC; with
+        ``deep=True`` each chunk is instead read, CRC-checked, decompressed
+        and validated against the manifest in one pass.  Both modes always
+        read from disk — chunks cached by earlier reads are not trusted.
+        Returns a report ``{"ok": bool, "fields": {name: {...}}, "errors": [...]}``.
+        """
+        self._require_open()
+        report: Dict = {"ok": True, "fields": {}, "errors": []}
+        fresh: set = set()  # chunks already re-decoded in this pass
+        for entry in self.fields():
+            field_report = {"chunks": len(entry.chunks), "ok": True}
+            expected_chunks = int(np.prod(entry.grid_counts))
+            if len(entry.chunks) != expected_chunks:
+                # the read path would reject this field; verify must agree
+                field_report["ok"] = False
+                report["ok"] = False
+                report["errors"].append(
+                    f"field {entry.name!r}: manifest lists {len(entry.chunks)} chunks "
+                    f"but the chunk grid {entry.grid_counts} requires {expected_chunks}"
+                )
+            for chunk in entry.chunks:
+                try:
+                    if deep:
+                        self._fetcher.get_chunk(entry.name, chunk.index, refresh=True, _fresh=fresh)
+                    else:
+                        self._fetcher.read_payload(entry, chunk)
+                # verify is a diagnostic: a CRC-consistent but malformed
+                # payload makes the codec raise backend-specific errors
+                # (zlib.error, struct.error, ...) that must become report
+                # entries, not tracebacks
+                except Exception as exc:
+                    field_report["ok"] = False
+                    report["ok"] = False
+                    report["errors"].append(str(exc))
+            report["fields"][entry.name] = field_report
+        return report
+
+
+def _overlap(
+    region: Tuple[slice, ...], start: Tuple[int, ...], stop: Tuple[int, ...]
+) -> Tuple[Tuple[slice, ...], Tuple[slice, ...]]:
+    """Destination (region-relative) and source (chunk-relative) overlap slices."""
+    dest: List[slice] = []
+    src: List[slice] = []
+    for sl, c0, c1 in zip(region, start, stop):
+        lo = max(sl.start, c0)
+        hi = min(sl.stop, c1)
+        dest.append(slice(lo - sl.start, hi - sl.start))
+        src.append(slice(lo - c0, hi - c0))
+    return tuple(dest), tuple(src)

@@ -1,0 +1,396 @@
+"""Streaming-append writer for ``XFA1`` archives.
+
+:class:`ArchiveWriter` compresses each added field chunk-by-chunk (the chunk
+grid comes from :func:`repro.parallel.blocks.plan_blocks`, the worker pool from
+:func:`repro.parallel.executor.parallel_imap`) and appends the payloads to the
+archive file as soon as they are ready — the windowed, in-order streaming of
+``parallel_imap`` is what keeps the full compressed archive out of memory.
+The JSON manifest and footer are written on :meth:`close`.
+
+Error-bound semantics match :class:`~repro.parallel.executor.BlockParallelCompressor`:
+a relative bound is resolved once against the *full* field, and every chunk is
+compressed with the resulting absolute bound, so the stored field satisfies
+exactly the same per-point guarantee as a single-shot compression.
+
+Cross-field fields name previously written fields as anchors.  The writer
+*reconstructs* each anchor chunk by decoding it from the archive (through the
+shared :class:`~repro.store.reader.ChunkFetcher`), so compression sees the
+exact arrays a reader will supply at decompression time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.parallel.blocks import plan_blocks
+from repro.parallel.executor import parallel_imap
+from repro.store.cache import LRUChunkCache
+from repro.store.codecs import codec_class, get_codec
+from repro.store.manifest import (
+    ArchiveError,
+    ArchiveManifest,
+    ChunkEntry,
+    FieldEntry,
+    pack_footer,
+    pack_header,
+)
+from repro.store.reader import ChunkFetcher
+from repro.sz.errors import ErrorBound
+
+__all__ = ["ArchiveWriter"]
+
+PathLike = Union[str, os.PathLike]
+
+#: Default chunk edge length along every axis (clamped to the field size).
+DEFAULT_CHUNK_EDGE = 64
+
+
+
+class ArchiveWriter:
+    """Write many named fields into one chunked archive file.
+
+    Parameters
+    ----------
+    path:
+        Destination file.  Created (parents included) on the first write.
+    codec:
+        Default codec name for :meth:`add_field` (``"sz"``, ``"zfp"``,
+        ``"cross-field"``, ``"lossless"``, or anything registered via
+        :func:`repro.store.register_codec`).
+    error_bound:
+        Default error bound for lossy codecs.
+    chunk_shape:
+        Default chunk tile; ``None`` uses 64 along every axis (clamped).
+    max_workers / executor_kind:
+        Worker-pool configuration for per-chunk compression, identical to
+        :class:`~repro.parallel.executor.BlockParallelCompressor`.
+    attrs:
+        Free-form JSON-serialisable archive attributes (provenance, units, …).
+
+    Examples
+    --------
+    >>> from repro.store import ArchiveWriter, ArchiveReader  # doctest: +SKIP
+    >>> with ArchiveWriter("snapshot.xfa") as writer:  # doctest: +SKIP
+    ...     writer.add_field("T", temperature)
+    ...     writer.add_field("RH", humidity, codec="cross-field", anchors=("T",))
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        codec: str = "sz",
+        error_bound: ErrorBound = ErrorBound.relative(1e-3),
+        chunk_shape: Optional[Sequence[int]] = None,
+        max_workers: Optional[int] = None,
+        executor_kind: str = "thread",
+        attrs: Optional[Dict] = None,
+    ) -> None:
+        if not isinstance(error_bound, ErrorBound):
+            raise TypeError("error_bound must be an ErrorBound instance")
+        self.path = Path(path)
+        self.default_codec = codec
+        self.default_error_bound = error_bound
+        self.default_chunk_shape = tuple(int(c) for c in chunk_shape) if chunk_shape else None
+        self.max_workers = max_workers
+        self.executor_kind = executor_kind
+        attrs = dict(attrs or {})
+        try:
+            # sort_keys matches the manifest serialization in close(), so
+            # non-string keys fail here too, before any compression work
+            json.dumps(attrs, sort_keys=True)
+        except TypeError as exc:
+            raise TypeError(f"attrs must be JSON-serialisable: {exc}") from exc
+        self.manifest = ArchiveManifest(attrs=attrs)
+        self._fh = None
+        self._offset = 0
+        self._closed = False
+        self._aborted = False
+        # All writes go to a uniquely named sibling temp file (created in
+        # _ensure_open) that is atomically renamed over `path` on close(): a
+        # failed or killed pack never destroys a previously valid archive at
+        # the destination, and concurrent packs cannot clobber each other's
+        # in-progress files (last close wins the rename).
+        self._tmp_path: Optional[Path] = None
+        # Anchor reconstruction decodes chunks we just wrote; a small cache
+        # keeps repeated anchor use (several cross-field targets sharing
+        # anchors) from re-decoding the same chunks.
+        self._fetcher: Optional[ChunkFetcher] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ArchiveError("archive writer is closed")
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # O_EXCL gives each writer a unique temp file (concurrent packs to
+            # one destination cannot clobber each other), and mode 0666 lets
+            # the kernel apply the process umask atomically — no mkstemp-style
+            # private 0600 and no global-umask read needed.
+            for attempt in range(1000):
+                candidate = self.path.with_name(f"{self.path.name}.{os.getpid()}.{attempt}.tmp")
+                try:
+                    fd = os.open(candidate, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o666)
+                    break
+                except FileExistsError:
+                    continue
+            else:  # pragma: no cover - 1000 stale temp files
+                raise ArchiveError(f"could not create a temp file next to {self.path}")
+            self._tmp_path = candidate
+            self._fh = os.fdopen(fd, "w+b")
+            header = pack_header()
+            self._fh.write(header)
+            self._offset = len(header)
+            self._fetcher = ChunkFetcher(
+                self._fh, self.manifest.__getitem__, LRUChunkCache(max_bytes=32 * 1024 * 1024)
+            )
+
+    def close(self) -> Path:
+        """Finalize the archive (manifest + footer), move it into place atomically.
+
+        Raises :class:`ArchiveError` if the writer was aborted (an exception
+        inside the ``with`` block or a failed finalize): nothing was published,
+        so returning the path would be a false success signal.
+        """
+        if self._closed:
+            if self._aborted:
+                raise ArchiveError(
+                    f"archive writer for {self.path} was aborted; no archive was published"
+                )
+            return self.path
+        self._ensure_open()
+        try:
+            manifest_bytes, crc = self.manifest.checked_json()
+            self._fh.seek(self._offset)
+            self._fh.write(manifest_bytes)
+            self._fh.write(pack_footer(self._offset, len(manifest_bytes), crc))
+            self._fh.close()
+            self._fh = None
+            os.replace(self._tmp_path, self.path)
+        except BaseException:
+            # nothing is published on a failed finalize: drop the temp file
+            # and the handle instead of leaking them
+            self._aborted = True
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self._tmp_path.unlink(missing_ok=True)
+            raise
+        finally:
+            self._fetcher = None  # release the anchor-chunk cache with the handle
+            self._closed = True
+        return self.path
+
+    def __enter__(self) -> "ArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Abandon the half-written temp file (any pre-existing archive at
+            # the destination is untouched) and mark the writer closed so a
+            # later close() cannot publish the incomplete manifest.
+            self._closed = True
+            self._aborted = True
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self._fetcher = None
+            if self._tmp_path is not None:
+                self._tmp_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def _resolve_chunk_shape(
+        self, shape: Tuple[int, ...], chunk_shape: Optional[Sequence[int]]
+    ) -> Tuple[int, ...]:
+        resolved = (
+            tuple(int(c) for c in chunk_shape)
+            if chunk_shape is not None
+            else self.default_chunk_shape
+        )
+        if resolved is None:
+            return tuple(min(DEFAULT_CHUNK_EDGE, s) for s in shape)
+        if len(resolved) != len(shape):
+            raise ArchiveError(
+                f"chunk_shape rank {len(resolved)} does not match field rank {len(shape)}"
+            )
+        if any(c <= 0 for c in resolved):
+            raise ArchiveError("chunk_shape entries must be positive")
+        return tuple(min(c, s) for c, s in zip(resolved, shape))
+
+    def _validate_anchors(
+        self, anchors: Sequence[str], shape: Tuple[int, ...], chunk_shape: Tuple[int, ...]
+    ) -> Tuple[str, ...]:
+        anchors = tuple(anchors)
+        for anchor in anchors:
+            if anchor not in self.manifest:
+                raise ArchiveError(
+                    f"anchor field {anchor!r} must be added to the archive before its target"
+                )
+            entry = self.manifest[anchor]
+            if entry.shape != shape:
+                raise ArchiveError(
+                    f"anchor {anchor!r} shape {entry.shape} does not match target shape {shape}"
+                )
+            if entry.chunk_shape != chunk_shape:
+                raise ArchiveError(
+                    f"anchor {anchor!r} chunk grid {entry.chunk_shape} does not match "
+                    f"target chunk grid {chunk_shape} (aligned chunks are required)"
+                )
+        return anchors
+
+    def add_field(
+        self,
+        name: str,
+        data: np.ndarray,
+        codec: Optional[str] = None,
+        error_bound: Optional[ErrorBound] = None,
+        chunk_shape: Optional[Sequence[int]] = None,
+        anchors: Sequence[str] = (),
+        **codec_params,
+    ) -> FieldEntry:
+        """Compress ``data`` chunk-by-chunk and append it under ``name``.
+
+        ``anchors`` names previously added fields (same shape and chunk grid)
+        whose reconstructed chunks feed codecs with ``requires_anchors`` (the
+        cross-field codec).  Extra keyword arguments are forwarded to the codec
+        constructor and recorded in the manifest.
+        """
+        self._ensure_open()
+        if name in self.manifest:
+            raise ArchiveError(f"duplicate field name {name!r}")
+        data = np.asarray(data)
+        if data.dtype == object:
+            raise TypeError(f"field {name!r} must be numeric, got object dtype")
+        if data.ndim == 0:
+            raise ArchiveError(
+                f"field {name!r} must be at least 1-dimensional, got a scalar"
+            )
+        if data.size == 0:
+            raise ArchiveError(f"field {name!r} must not be empty")
+        data = np.ascontiguousarray(data)
+
+        codec_name = codec if codec is not None else self.default_codec
+        cls = codec_class(codec_name)
+        resolved_chunk_shape = self._resolve_chunk_shape(data.shape, chunk_shape)
+        if cls.requires_anchors and not anchors:
+            raise ArchiveError(f"codec {codec_name!r} requires at least one anchor field")
+        if anchors and not cls.requires_anchors:
+            raise ArchiveError(f"codec {codec_name!r} does not accept anchor fields")
+        anchors = self._validate_anchors(anchors, data.shape, resolved_chunk_shape)
+
+        eb = error_bound if error_bound is not None else self.default_error_bound
+        if not isinstance(eb, ErrorBound):
+            raise TypeError("error_bound must be an ErrorBound instance")
+        abs_eb: Optional[float] = None
+        if not cls.is_lossless:
+            # Resolve relative bounds on the FULL field so every chunk uses the
+            # identical absolute bound (single-shot semantics).
+            abs_eb = eb.resolve(data)
+            codec_params = dict(codec_params, error_bound=ErrorBound.absolute(abs_eb))
+        instance = get_codec(codec_name, **codec_params)
+
+        specs = plan_blocks(data.shape, resolved_chunk_shape)
+        if anchors:
+            # Anchor chunks are reconstructed per target chunk, on demand —
+            # the fetcher serialises only its file reads and cache bookkeeping
+            # internally, so anchor decodes and target encodes both run in
+            # parallel while memory stays bounded by the in-flight workers
+            # plus the fetcher's cache budget, not the whole anchor fields.
+            def encode(spec):
+                anchor_arrays = [self._fetcher.get_chunk(a, spec.index) for a in anchors]
+                return instance.encode(spec.extract(data), anchors=anchor_arrays)
+
+        else:
+
+            def encode(spec):
+                return instance.encode(spec.extract(data))
+
+        entry = FieldEntry(
+            name=name,
+            dtype=str(data.dtype),
+            shape=tuple(data.shape),
+            chunk_shape=resolved_chunk_shape,
+            codec=cls.name,
+            codec_params=instance.params(),
+            anchors=anchors,
+            abs_error_bound=abs_eb,
+            error_bound=None if cls.is_lossless else eb.to_dict(),
+            original_nbytes=int(data.nbytes),
+        )
+        # Stream each payload to disk as it is produced (in chunk order):
+        # memory holds only results completed ahead of the write position,
+        # never the field's whole compressed output.  Appends share the file
+        # handle with the fetcher's anchor reads, hence the io_lock.
+        payloads = parallel_imap(encode, specs, self.executor_kind, self.max_workers)
+        for spec, payload in zip(specs, payloads):
+            entry.chunks.append(
+                ChunkEntry(
+                    index=spec.index,
+                    start=tuple(s.start for s in spec.slices),
+                    stop=tuple(s.stop for s in spec.slices),
+                    offset=self._offset,
+                    length=len(payload),
+                    crc32=zlib.crc32(payload) & 0xFFFFFFFF,
+                )
+            )
+            with self._fetcher.io_lock:
+                self._fh.seek(self._offset)
+                self._fh.write(payload)
+            self._offset += len(payload)
+        self.manifest.add(entry)
+        return entry
+
+    def add_fieldset(
+        self,
+        fieldset,
+        codec: Optional[str] = None,
+        error_bound: Optional[ErrorBound] = None,
+        chunk_shape: Optional[Sequence[int]] = None,
+        cross_field: Optional[Dict[str, Sequence[str]]] = None,
+    ) -> Dict[str, FieldEntry]:
+        """Add every field of a :class:`~repro.data.fields.FieldSet`.
+
+        ``cross_field`` maps target field names to anchor-name sequences; the
+        targets are written *after* all other fields (anchors must exist
+        first) with the cross-field codec, everything else uses ``codec``.
+        """
+        cross_field = dict(cross_field or {})
+        for target, target_anchors in cross_field.items():
+            if target not in fieldset:
+                raise ArchiveError(f"cross-field target {target!r} is not in the fieldset")
+            for anchor in target_anchors:
+                if anchor not in fieldset:
+                    raise ArchiveError(f"cross-field anchor {anchor!r} is not in the fieldset")
+                if anchor in cross_field:
+                    raise ArchiveError(
+                        f"anchor {anchor!r} is itself a cross-field target; anchors must be "
+                        "stored with a non-anchored codec"
+                    )
+        entries: Dict[str, FieldEntry] = {}
+        for field in fieldset:
+            if field.name in cross_field:
+                continue
+            entries[field.name] = self.add_field(
+                field.name, field.data, codec=codec, error_bound=error_bound, chunk_shape=chunk_shape
+            )
+        for target, target_anchors in cross_field.items():
+            entries[target] = self.add_field(
+                target,
+                fieldset[target].data,
+                codec="cross-field",
+                error_bound=error_bound,
+                chunk_shape=chunk_shape,
+                anchors=tuple(target_anchors),
+            )
+        return entries

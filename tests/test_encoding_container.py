@@ -62,6 +62,62 @@ class TestCompressedBlob:
         blob.add_section("x", b"\x00" * 100)
         assert blob.nbytes == len(blob.to_bytes())
 
+    def test_nbytes_matches_across_shapes(self):
+        cases = [
+            CompressedBlob(),
+            CompressedBlob(metadata={"unicode": "é", "nested": {"k": [1, 2, 3]}}),
+        ]
+        multi = CompressedBlob(metadata={"n": 3})
+        multi.add_section("empty", b"")
+        multi.add_section("named-é", b"\x01" * 7)
+        multi.add_section("big", b"\xff" * 4096)
+        cases.append(multi)
+        for blob in cases:
+            assert blob.nbytes == len(blob.to_bytes())
+
+
+class TestCorruptionPaths:
+    """Every malformed input must raise a clear ValueError, never crash oddly."""
+
+    @staticmethod
+    def _payload():
+        blob = CompressedBlob(metadata={"field": "T", "shape": [8, 8]})
+        blob.add_section("residuals", b"\x01\x02\x03\x04\x05\x06\x07\x08")
+        blob.add_section("model", b"weights-bytes")
+        return blob.to_bytes()
+
+    def test_truncated_header(self):
+        payload = self._payload()
+        for cut in (0, 1, 5, 12):  # header is 13 bytes
+            with pytest.raises(ValueError, match="too small"):
+                CompressedBlob.from_bytes(payload[:cut])
+
+    def test_truncated_body(self):
+        payload = self._payload()
+        for cut in (len(payload) - 1, len(payload) // 2, 14):
+            with pytest.raises(ValueError, match="CRC|truncated"):
+                CompressedBlob.from_bytes(payload[:cut])
+
+    def test_flipped_bit_crc_mismatch(self):
+        payload = bytearray(self._payload())
+        for position in (13, len(payload) // 2, len(payload) - 1):
+            corrupted = bytearray(payload)
+            corrupted[position] ^= 0x01
+            with pytest.raises(ValueError, match="CRC"):
+                CompressedBlob.from_bytes(bytes(corrupted))
+
+    def test_unknown_magic(self):
+        payload = bytearray(self._payload())
+        payload[:4] = b"ZZZZ"
+        with pytest.raises(ValueError, match="magic"):
+            CompressedBlob.from_bytes(bytes(payload))
+
+    def test_unsupported_version(self):
+        payload = bytearray(self._payload())
+        payload[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            CompressedBlob.from_bytes(bytes(payload))
+
 
 class TestHelpers:
     def test_pack_unpack(self):

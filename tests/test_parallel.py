@@ -94,3 +94,85 @@ class TestBlockParallelCompressor:
     def test_bit_rate_property(self, cesm_small):
         result = BlockParallelCompressor().compress(cesm_small["LWCF"].data)
         assert result.bit_rate > 0
+
+    def test_bit_rate_uses_element_count(self, cesm_small):
+        # float32 and float64 copies of the same field must report bits per
+        # VALUE relative to the same element count, not nbytes // 4
+        data32 = cesm_small["LWCF"].data.astype(np.float32)
+        data64 = data32.astype(np.float64)
+        eb = ErrorBound.absolute(0.05)
+        r32 = BlockParallelCompressor(compressor=SZCompressor(error_bound=eb)).compress(data32)
+        r64 = BlockParallelCompressor(compressor=SZCompressor(error_bound=eb)).compress(data64)
+        assert r32.element_count == r64.element_count == data32.size
+        assert r32.bit_rate == 8.0 * r32.compressed_nbytes / data32.size
+        assert r64.bit_rate == 8.0 * r64.compressed_nbytes / data64.size
+        # identical content at the same absolute bound: similar bits/value,
+        # while the old nbytes // 4 accounting would have halved the f64 rate
+        assert abs(r64.bit_rate - r32.bit_rate) < 0.5 * r32.bit_rate
+
+    def test_bit_rate_legacy_fallback(self):
+        from repro.parallel import BlockCompressionResult
+
+        legacy = BlockCompressionResult(
+            payload=b"x" * 100,
+            original_nbytes=400,
+            compressed_nbytes=100,
+            abs_error_bound=0.1,
+            n_blocks=1,
+        )
+        assert legacy.bit_rate == 8.0  # falls back to 4-byte elements
+
+    def test_parallel_map_orders_and_validates(self):
+        from repro.parallel import parallel_map
+
+        items = list(range(20))
+        assert parallel_map(lambda x: x * x, items, "thread", 4) == [x * x for x in items]
+        assert parallel_map(lambda x: x + 1, items, "serial") == [x + 1 for x in items]
+        with pytest.raises(ValueError):
+            parallel_map(lambda x: x, items, "gpu")
+
+    def test_parallel_imap_windows_submissions(self):
+        import threading
+        import time
+
+        from repro.parallel import parallel_imap
+
+        submitted = []
+        lock = threading.Lock()
+
+        def work(x):
+            with lock:
+                submitted.append(x)
+            return x
+
+        with pytest.raises(ValueError):  # validation is eager, not deferred
+            parallel_imap(work, range(5), "gpu")
+
+        gen = parallel_imap(work, range(50), "thread", max_workers=2)
+        first = next(gen)  # fills the 2*2 submission window, yields item 0
+        assert first == 0
+        time.sleep(0.05)  # workers drain the window; no new submissions yet
+        assert len(submitted) <= 4
+        assert list(gen) == list(range(1, 50))  # remaining results, in order
+
+    def test_parallel_imap_cancels_window_on_failure(self):
+        import threading
+
+        from repro.parallel import parallel_imap
+
+        executed = []
+        lock = threading.Lock()
+
+        def work(x):
+            with lock:
+                executed.append(x)
+            if x == 0:
+                raise RuntimeError("chunk failed")
+            return x
+
+        gen = parallel_imap(work, range(40), "thread", max_workers=1)
+        with pytest.raises(RuntimeError, match="chunk failed"):
+            list(gen)
+        # queued window items are cancelled on failure; only items already
+        # running (at most the 2*workers window) may have executed
+        assert len(executed) <= 2

@@ -1,0 +1,182 @@
+"""End-to-end tests for the ``repro`` CLI driving the archive store."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_fieldset, write_fieldset
+from repro.data.synthetic import make_dataset
+from repro.store.cli import main, parse_region
+
+
+@pytest.fixture(scope="module")
+def small_cesm():
+    return make_dataset("cesm", shape=(48, 64), seed=9)
+
+
+class TestParseRegion:
+    def test_slices(self):
+        assert parse_region("0:10,5:20") == (slice(0, 10), slice(5, 20))
+
+    def test_open_ended_and_full(self):
+        assert parse_region("3,:,40:") == (3, slice(None), slice(40, None))
+        assert parse_region(":16") == (slice(None, 16),)
+
+    def test_bad_token(self):
+        with pytest.raises(ValueError):
+            parse_region("a:b")
+
+    def test_step_syntax_rejected_clearly(self):
+        with pytest.raises(ValueError, match="step is not supported"):
+            parse_region("0:10:2")
+
+
+class TestCLI:
+    def test_pack_ls_extract_verify_unpack(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT", "FLNTC", "LWCF"]), src)
+        archive = tmp_path / "snap.xfa"
+
+        assert main(["pack", str(src), str(archive), "--chunk", "24,24", "--error-bound", "1e-3"]) == 0
+        assert archive.exists()
+        assert "packed 3 fields" in capsys.readouterr().out
+
+        assert main(["ls", str(archive)]) == 0
+        listing = capsys.readouterr().out
+        for name in ("FLNT", "FLNTC", "LWCF"):
+            assert name in listing
+
+        out_npy = tmp_path / "window.npy"
+        assert main([
+            "extract", str(archive), "FLNT", "--region", "0:10,20:40", "-o", str(out_npy),
+        ]) == 0
+        capsys.readouterr()
+        window = np.load(out_npy)
+        assert window.shape == (10, 20)
+        original = small_cesm["FLNT"].data[0:10, 20:40]
+        assert np.max(np.abs(window.astype(np.float64) - original.astype(np.float64))) <= 1.0
+
+        assert main(["verify", str(archive), "--deep"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+        restored_dir = tmp_path / "restored"
+        assert main(["unpack", str(archive), str(restored_dir)]) == 0
+        capsys.readouterr()
+        restored = read_fieldset(restored_dir)
+        assert sorted(restored.names) == ["FLNT", "FLNTC", "LWCF"]
+        for name in restored.names:
+            err = np.max(
+                np.abs(
+                    restored[name].data.astype(np.float64)
+                    - small_cesm[name].data.astype(np.float64)
+                )
+            )
+            value_range = small_cesm[name].value_range
+            assert err <= 1e-3 * value_range * (1 + 1e-9)
+
+    def test_pack_synthetic_with_cross_field(self, tmp_path, capsys):
+        archive = tmp_path / "cesm.xfa"
+        code = main([
+            "pack", "cesm", str(archive),
+            "--shape", "32,48", "--chunk", "32,48", "--seed", "11",
+            "--fields", "CLDLOW,CLDMED,CLDTOT",
+            "--cross-field", "CLDTOT=CLDLOW,CLDMED",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["ls", str(archive), "--json"]) == 0
+        import json
+
+        entries = {e["name"]: e for e in json.loads(capsys.readouterr().out)}
+        assert entries["CLDTOT"]["codec"] == "cross-field"
+        assert entries["CLDTOT"]["anchors"] == ["CLDLOW", "CLDMED"]
+        assert entries["CLDLOW"]["codec"] == "sz"
+
+    def test_verify_fails_on_corruption(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT"]), src)
+        archive = tmp_path / "snap.xfa"
+        assert main(["pack", str(src), str(archive)]) == 0
+        capsys.readouterr()
+
+        raw = bytearray(archive.read_bytes())
+        raw[100] ^= 0xFF  # inside the first chunk payload
+        archive.write_bytes(bytes(raw))
+        assert main(["verify", str(archive)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_bad_source_reports_error(self, tmp_path, capsys):
+        code = main(["pack", "not-a-dataset", str(tmp_path / "x.xfa")])
+        assert code == 2
+        assert "known synthetic dataset" in capsys.readouterr().err
+
+    def test_bad_shape_for_known_dataset_keeps_generator_error(self, tmp_path, capsys):
+        # cesm is 2D: a 3D --shape must surface the generator's message, not
+        # be misreported as an unknown dataset name
+        code = main(["pack", "cesm", str(tmp_path / "x.xfa"), "--shape", "10,20,30"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "known synthetic dataset" not in err
+        assert "2D" in err
+
+    def test_bad_region_string_reports_error(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT"]), src)
+        archive = tmp_path / "snap.xfa"
+        assert main(["pack", str(src), str(archive)]) == 0
+        capsys.readouterr()
+        assert main(["extract", str(archive), "FLNT", "--region", "a:b"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shape_rejected_for_directory_source(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT"]), src)
+        code = main(["pack", str(src), str(tmp_path / "x.xfa"), "--shape", "16,16"])
+        assert code == 2
+        assert "only apply to synthetic dataset sources" in capsys.readouterr().err
+
+    def test_dataset_named_directory_is_ambiguous(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "cesm").mkdir()  # user data folder colliding with a generator name
+        code = main(["pack", "cesm", str(tmp_path / "x.xfa"), "--shape", "16,16"])
+        # never silently pack synthetic data in place of the user's directory
+        assert code == 2
+        assert "both a directory" in capsys.readouterr().err
+
+    def test_plain_directory_source_mentions_manifest(self, tmp_path, capsys):
+        (tmp_path / "stuff").mkdir()
+        code = main(["pack", str(tmp_path / "stuff"), str(tmp_path / "x.xfa")])
+        assert code == 2
+        assert "without a manifest.json" in capsys.readouterr().err
+
+    def test_directory_as_archive_reports_error(self, tmp_path, capsys):
+        assert main(["ls", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_codec_reports_error(self, tmp_path, capsys):
+        code = main(["pack", "cesm", str(tmp_path / "x.xfa"), "--shape", "16,16", "--codec", "nope"])
+        assert code == 2
+        assert "unknown codec" in capsys.readouterr().err
+
+    def test_extract_unknown_field_reports_error(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT"]), src)
+        archive = tmp_path / "snap.xfa"
+        assert main(["pack", str(src), str(archive)]) == 0
+        capsys.readouterr()
+        assert main(["extract", str(archive), "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no field named")  # no KeyError repr quoting
+
+    def test_unpack_preserves_float64_dtype(self, tmp_path, rng, capsys):
+        from repro.store import ArchiveWriter
+
+        archive = tmp_path / "f64.xfa"
+        data = rng.normal(size=(16, 16)).astype(np.float64)
+        with ArchiveWriter(archive) as writer:
+            writer.add_field("x", data, codec="lossless")
+        dest = tmp_path / "restored"
+        assert main(["unpack", str(archive), str(dest)]) == 0
+        capsys.readouterr()
+        restored = read_fieldset(dest)
+        assert restored["x"].data.dtype == np.float64
+        assert np.array_equal(restored["x"].data, data)
