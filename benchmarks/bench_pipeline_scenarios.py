@@ -1,0 +1,45 @@
+"""Benchmark: every registered pipeline scenario, end to end.
+
+Each scenario run covers the full stack — synthetic data generation, chunked
+parallel compression through its configured codecs, the XFA1 write path, and
+a deep verification pass (which decodes every chunk).  The printed table
+shows where the time goes per workload and what compression each preset
+achieves, making regressions in any layer visible as a scenario slowdown.
+"""
+
+import time
+
+from conftest import run_once
+
+
+def _run_all(tmp_path):
+    from repro.pipeline import available_scenarios, run_scenario
+
+    rows = []
+    for name in available_scenarios():
+        start = time.perf_counter()
+        result = run_scenario(name, tmp_path / f"{name}.xfa", seed=1)
+        elapsed = time.perf_counter() - start
+        assert result.verified_ok is True, f"scenario {name} failed verification"
+        rows.append(
+            {
+                "scenario": name,
+                "seconds": elapsed,
+                "ratio": result.ratio,
+                "fields": len(result.fields),
+                "compressed_nbytes": result.compressed_nbytes,
+            }
+        )
+    return rows
+
+
+def test_pipeline_scenarios(benchmark, tmp_path):
+    rows = run_once(benchmark, _run_all, tmp_path)
+    print()
+    print(f"{'scenario':<16} {'fields':>6} {'ratio':>8} {'seconds':>8}")
+    for row in rows:
+        print(
+            f"{row['scenario']:<16} {row['fields']:>6} "
+            f"{row['ratio']:>7.2f}x {row['seconds']:>8.2f}"
+        )
+    assert all(row["ratio"] > 1.0 for row in rows)

@@ -1,68 +1,106 @@
 #!/usr/bin/env python
-"""Quickstart: error-bounded compression with and without cross-field prediction.
+"""Quickstart: the config-driven compression pipeline, end to end.
 
-Generates a small synthetic Hurricane-like snapshot, compresses the vertical
-wind field (Wf) with the SZ-style baseline and with the cross-field compressor
-(anchors: Uf, Vf, Pf), verifies the error bound, and prints the size/quality
-comparison.
+Builds a small synthetic Hurricane-like snapshot and compresses it into one
+random-access ``XFA1`` archive through :class:`repro.pipeline.CompressionPipeline`:
+the horizontal winds and pressure go through the SZ baseline, and the vertical
+wind (Wf) is stored with the paper's cross-field codec, predicted from the
+*archived* anchors — exactly what a decompressor will see.  The same run then
+demonstrates decompression, error-bound checking, a chunked region read, and
+the baseline-only configuration for comparison.
+
+Everything here is driven by a :class:`repro.pipeline.PipelineConfig` that
+round-trips through JSON — the printed config is directly usable as
+``repro compress <config.json>``, and ``repro run cross-field`` packages this
+whole workload as a registered scenario.
 
 Run with:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro.core import CrossFieldCompressor, TrainingConfig
-from repro.core.anchors import get_anchor_spec
 from repro.data import make_dataset
 from repro.metrics import psnr, ssim
-from repro.sz import ErrorBound, SZCompressor
+from repro.pipeline import CompressionPipeline, FieldRule, PipelineConfig
+from repro.store import ArchiveReader
 
 
 def main() -> None:
-    # 1. a multi-field snapshot (use read_sdrbench() for real SDRBench files)
-    dataset = make_dataset("hurricane", shape=(16, 64, 64), seed=7)
+    # 1. a multi-field snapshot (use read_fieldset() for real SDRBench files)
+    dataset = make_dataset("hurricane", shape=(8, 32, 32), seed=7)
+    dataset = dataset.subset(["Uf", "Vf", "Pf", "Wf"])
     print(dataset.describe())
 
-    spec = get_anchor_spec("hurricane", "Wf")
-    target = dataset[spec.target].data
-    error_bound = ErrorBound.relative(1e-3)
-
-    # 2. baseline: SZ-style Lorenzo + dual quantization
-    baseline = SZCompressor(error_bound=error_bound)
-    baseline_result = baseline.compress(target, field_name=spec.target)
-    baseline_recon = baseline.decompress(baseline_result.payload)
-    print(f"\nbaseline          : {baseline_result.summary()}")
-    print(f"  PSNR {psnr(target, baseline_recon):6.2f} dB   SSIM {ssim(target, baseline_recon):.4f}")
-
-    # 3. cross-field: anchors are compressed first; their reconstructions feed
-    #    the CFNN so the decompressor sees exactly the same inputs.
-    anchors = []
-    for name in spec.anchors:
-        anchor_payload = baseline.compress(dataset[name].data, field_name=name).payload
-        anchors.append(baseline.decompress(anchor_payload).astype(np.float64))
-
-    cross = CrossFieldCompressor(
-        error_bound=error_bound,
-        training=TrainingConfig(epochs=6, n_patches=48),
+    # 2. one declarative config: SZ default, cross-field rule for Wf
+    config = PipelineConfig(
+        name="quickstart",
+        codec="sz",
+        error_bound=1e-3,
+        chunk_shape=(8, 16, 16),
+        fields={
+            "Wf": FieldRule(
+                codec="cross-field",
+                anchors=("Uf", "Vf", "Pf"),
+                codec_params={"epochs": 4, "n_patches": 16},
+            )
+        },
     )
-    cross_result = cross.compress(target, anchors, field_name=spec.target)
-    cross_recon = cross.decompress(cross_result.payload, anchors)
-    print(f"cross-field (ours): {cross_result.summary()}")
-    print(f"  PSNR {psnr(target, cross_recon):6.2f} dB   SSIM {ssim(target, cross_recon):.4f}")
-    print(f"  prediction mode  : {cross_result.metadata['mode']}")
-    print(f"  hybrid weights   : {[round(w, 3) for w in cross_result.metadata['hybrid']['weights']]}")
+    print("\npipeline config (usable as `repro compress config.json`):")
+    print(config.to_json())
+    assert PipelineConfig.from_json(config.to_json()).to_dict() == config.to_dict()
 
-    # 4. both reconstructions respect the requested point-wise error bound
-    for name, recon, result in (
-        ("baseline", baseline_recon, baseline_result),
-        ("ours", cross_recon, cross_result),
-    ):
-        max_error = float(np.max(np.abs(recon.astype(np.float64) - target.astype(np.float64))))
-        assert max_error <= result.abs_error_bound, f"{name} violated the error bound"
-        print(f"  {name:<8s} max error {max_error:.3e} <= bound {result.abs_error_bound:.3e}")
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = Path(tmp) / "quickstart.xfa"
+        pipeline = CompressionPipeline(config)
 
-    improvement = 100.0 * (cross_result.ratio / baseline_result.ratio - 1.0)
-    print(f"\ncompression-ratio change from cross-field information: {improvement:+.1f}%")
+        # 3. compress every field into one chunked archive
+        result = pipeline.compress(dataset, archive)
+        print("\n" + result.format())
+
+        # 4. decompress and check the per-point error bound
+        restored = pipeline.decompress(archive)
+        for name in dataset.names:
+            original = dataset[name].data.astype(np.float64)
+            recon = restored[name].data.astype(np.float64)
+            bound = 1e-3 * dataset[name].value_range
+            max_error = float(np.max(np.abs(recon - original)))
+            assert max_error <= bound * (1 + 1e-9), f"{name} violated the error bound"
+            print(f"  {name:<4s} max error {max_error:.3e} <= bound {bound:.3e}")
+
+        wf = dataset["Wf"].data.astype(np.float64)
+        wf_recon = restored["Wf"].data.astype(np.float64)
+        print(f"  Wf quality: PSNR {psnr(wf, wf_recon):6.2f} dB, SSIM {ssim(wf, wf_recon):.4f}")
+
+        # 5. random access: a region read touches only intersecting chunks
+        with ArchiveReader(archive) as reader:
+            window = reader.read_region("Wf", (slice(0, 4), slice(8, 24), slice(8, 24)))
+            touched = reader.cache_stats()["chunks_decoded"]
+            total = len(reader.field("Wf").chunks)
+        print(f"  region read: {window.shape} from {touched} chunks "
+              f"(of {total} per field; anchors decode on demand)")
+
+        # 6. deep verification: CRC + full decode of every chunk
+        assert pipeline.verify(archive, deep=True)["ok"]
+        print("  deep verification: ok")
+
+        # 7. the same fields through a baseline-only config, for comparison
+        baseline_archive = Path(tmp) / "baseline.xfa"
+        baseline_result = CompressionPipeline(
+            PipelineConfig(name="baseline", codec="sz", error_bound=1e-3,
+                           chunk_shape=(8, 16, 16))
+        ).compress(dataset, baseline_archive)
+
+        # at quickstart grid sizes the per-chunk models rarely beat the plain
+        # baseline (the codec's Lorenzo fallback keeps them close); the gains
+        # the paper reports appear at benchmark scale — see benchmarks/
+        cross_wf = next(f for f in result.fields if f.name == "Wf")
+        base_wf = next(f for f in baseline_result.fields if f.name == "Wf")
+        improvement = 100.0 * (cross_wf.ratio / base_wf.ratio - 1.0)
+        print(f"\nWf baseline {base_wf.ratio:.2f}x -> cross-field {cross_wf.ratio:.2f}x "
+              f"({improvement:+.1f}% from cross-field information at this toy size)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Check that the fenced code blocks in README.md and docs/ stay valid.
+
+Documentation rots when nobody executes it.  This script walks every fenced
+code block of the given Markdown files (default: ``README.md`` and
+``docs/*.md``) and enforces, per language tag:
+
+- ```` ```json ````          — must parse as JSON.
+- ```` ```json config ````   — must parse *and* validate as a
+  :class:`repro.pipeline.PipelineConfig` (the docs' config examples are real).
+- ```` ```python ````        — must compile (syntax and nothing else; used for
+  illustrative snippets that depend on surrounding context).
+- ```` ```python run ````    — compiled **and executed** in a fresh namespace
+  with a temporary working directory, so examples that claim to run, run.
+- anything else (``bash``, ``text``, no tag) — skipped.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/check_docs.py [files...]
+
+Exit code 0 when every block passes, 1 otherwise; failures are reported as
+``file:line: message`` for the opening fence of the offending block.
+``tests/test_docs_examples.py`` runs the same checks under pytest so the
+tier-1 suite catches doc rot too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: (info-string, code, line number of the opening fence)
+Block = Tuple[str, str, int]
+
+
+def extract_blocks(text: str) -> List[Block]:
+    """Collect every fenced code block with its info string and line number."""
+    blocks: List[Block] = []
+    lines = text.splitlines()
+    in_block = False
+    info = ""
+    start = 0
+    buffer: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not in_block and stripped.startswith("```") and stripped != "```":
+            in_block, info, start, buffer = True, stripped[3:].strip().lower(), number, []
+        elif not in_block and stripped == "```":
+            # opening fence with no info string (untagged block)
+            in_block, info, start, buffer = True, "", number, []
+        elif in_block and stripped == "```":
+            blocks.append((info, "\n".join(buffer), start))
+            in_block = False
+        elif in_block:
+            buffer.append(line)
+    return blocks
+
+
+def check_block(info: str, code: str, path: Path, lineno: int) -> Optional[str]:
+    """Return an error message for one block, or ``None`` when it passes."""
+    where = f"{path}:{lineno}"
+    tags = info.split()
+    language = tags[0] if tags else ""
+
+    if language == "json":
+        try:
+            payload = json.loads(code)
+        except json.JSONDecodeError as exc:
+            return f"{where}: invalid JSON: {exc}"
+        if "config" in tags[1:]:
+            from repro.pipeline import PipelineConfig, PipelineConfigError
+
+            try:
+                PipelineConfig.from_dict(payload)
+            except PipelineConfigError as exc:
+                return f"{where}: JSON does not validate as a PipelineConfig: {exc}"
+        return None
+
+    if language == "python":
+        try:
+            compiled = compile(code, f"{path.name}:{lineno}", "exec")
+        except SyntaxError as exc:
+            return f"{where}: python block does not compile: {exc}"
+        if "run" not in tags[1:]:
+            return None
+        cwd = os.getcwd()
+        with tempfile.TemporaryDirectory() as tmp:
+            os.chdir(tmp)
+            try:
+                exec(compiled, {"__name__": "__docs_check__"})
+            except SystemExit as exc:
+                # a doc block using the sys.exit(main()) idiom is fine when it
+                # exits 0; KeyboardInterrupt propagates and aborts the checker
+                if exc.code not in (0, None):
+                    return f"{where}: python block exited with code {exc.code}"
+            except Exception:
+                return f"{where}: python block failed to run:\n{traceback.format_exc()}"
+            finally:
+                os.chdir(cwd)
+        return None
+
+    return None  # bash / text / untagged blocks are illustrative
+
+
+def check_file(path: Path) -> Tuple[int, List[str]]:
+    """Check one Markdown file; returns ``(blocks_checked, errors)``."""
+    errors: List[str] = []
+    checked = 0
+    blocks = extract_blocks(path.read_text(encoding="utf-8"))
+    for info, code, lineno in blocks:
+        language = info.split()[0] if info.split() else ""
+        if language not in ("json", "python"):
+            continue
+        checked += 1
+        error = check_block(info, code, path, lineno)
+        if error is not None:
+            errors.append(error)
+    return checked, errors
+
+
+def default_targets() -> List[Path]:
+    """README.md plus every Markdown file under docs/."""
+    targets = [REPO_ROOT / "README.md"]
+    targets.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [p for p in targets if p.exists()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    targets = [Path(a) for a in argv] if argv else default_targets()
+    all_errors: List[str] = []
+    total = 0
+    for path in targets:
+        if not path.exists():
+            all_errors.append(f"{path}: no such file")
+            continue
+        checked, errors = check_file(path)
+        total += checked
+        status = "ok" if not errors else f"{len(errors)} FAILED"
+        print(f"{path}: {checked} block(s) checked, {status}")
+        all_errors.extend(errors)
+    for error in all_errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(f"docs check: {total} block(s), {len(all_errors)} error(s)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,16 @@ Scientific Applications" (SC 2024).  The package provides:
 - :mod:`repro.zfp` — a ZFP-style transform-based compressor for ablations.
 - :mod:`repro.store` — a chunked random-access archive store (``XFA1``) with a
   codec registry over all compressors and the ``repro`` command line interface.
+- :mod:`repro.pipeline` — the config-driven end-to-end pipeline unifying all of
+  the above: :class:`~repro.pipeline.config.PipelineConfig` (JSON round-trip),
+  :class:`~repro.pipeline.pipeline.CompressionPipeline`, and the scenario
+  registry behind ``repro run``.
 - :mod:`repro.experiments` — runners that regenerate every table and figure of
   the paper's evaluation section.
+
+The ``docs/`` tree documents the architecture (``docs/architecture.md``), the
+pipeline and its configuration schema (``docs/pipeline.md``), and the on-disk
+archive format (``docs/xfa1-format.md``).
 
 Quickstart
 ----------

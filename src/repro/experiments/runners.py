@@ -42,6 +42,7 @@ from repro.metrics import (
     psnr,
     ssim,
 )
+from repro.pipeline import reconstruct_anchors
 from repro.sz import ErrorBound, SZCompressor
 from repro.sz.predictors import lorenzo_predict
 from repro.sz.quantizer import prequantize
@@ -125,20 +126,16 @@ def _compress_pair(
     """Compress one (field, error bound) cell with baseline and ours.
 
     Returns ``(baseline_ratio, ours_ratio, extras)``; anchor reconstructions at
-    each error bound are cached so several targets of the same dataset reuse
-    them.
+    each error bound are cached (via :func:`repro.pipeline.reconstruct_anchors`)
+    so several targets of the same dataset reuse them.
     """
     spec = get_anchor_spec(dataset, target)
     eb = ErrorBound.relative(error_bound)
     baseline = SZCompressor(error_bound=eb)
 
-    decompressed_anchors: List[np.ndarray] = []
-    for name in spec.anchors:
-        key = (dataset, error_bound, name)
-        if key not in anchor_cache:
-            result = baseline.compress(fieldset[name].data, field_name=name)
-            anchor_cache[key] = baseline.decompress(result.payload).astype(np.float64)
-        decompressed_anchors.append(anchor_cache[key])
+    decompressed_anchors = reconstruct_anchors(
+        fieldset, spec.anchors, eb, cache=anchor_cache, cache_key=(dataset, error_bound)
+    )
 
     target_data = fieldset[target].data
     baseline_result = baseline.compress(target_data, field_name=target)
@@ -755,10 +752,7 @@ def run_figure9(
     if target_ratio is None:
         target_ratio = baseline_at_ref.ratio
 
-    anchors = []
-    for name in spec.anchors:
-        result = SZCompressor(error_bound=ErrorBound.relative(1e-3)).compress(fieldset[name].data)
-        anchors.append(SZCompressor(error_bound=ErrorBound.relative(1e-3)).decompress(result.payload).astype(np.float64))
+    anchors = reconstruct_anchors(fieldset, spec.anchors, ErrorBound.relative(1e-3))
 
     def compress_baseline(eb):
         return SZCompressor(error_bound=ErrorBound.relative(eb)).compress(target_data)

@@ -1,0 +1,244 @@
+"""Named workloads: synthetic data + pipeline config presets, runnable end to end.
+
+A *scenario* bundles everything ``repro run <name>`` needs: which synthetic
+dataset to generate (and at what grid size), which fields to keep, and the
+:class:`~repro.pipeline.config.PipelineConfig` preset to compress them with.
+Scenarios are the executable documentation of the system's workloads — each
+exercises a different slice of the stack (plain SZ baseline, mixed codecs,
+cross-field prediction through archived anchors, chunked random access,
+exact lossless archiving) at sizes that finish in seconds of pure Python.
+
+New workloads plug in via :func:`register_scenario`; the CLI and the smoke
+tests iterate :func:`available_scenarios`, so a registered scenario is
+immediately runnable and tested.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.data.fields import FieldSet
+from repro.data.synthetic import make_dataset
+from repro.pipeline.config import FieldRule, PipelineConfig
+from repro.pipeline.pipeline import CompressionPipeline, PipelineResult
+from repro.store.reader import ArchiveReader
+
+__all__ = [
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "scenario_table",
+    "run_scenario",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: Tiny cross-field training budget: per-chunk CFNNs on scenario-sized chunks
+#: need only a few epochs to beat the Lorenzo fallback on synthetic data.
+_FAST_CROSS_FIELD: Dict = {"epochs": 2, "n_patches": 8}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, self-contained pipeline workload.
+
+    Parameters
+    ----------
+    name:
+        Registry key, also the default archive stem for ``repro run``.
+    description:
+        One line shown by ``repro run --list``.
+    dataset:
+        Synthetic dataset generator name (``cesm`` / ``scale`` / ``hurricane``).
+    shape:
+        Grid shape passed to the generator (sized for seconds, not hours).
+    config:
+        The :class:`PipelineConfig` preset applied to the generated fields.
+    fields:
+        Optional subset of dataset fields to compress (``None`` = all).
+    demo_region:
+        Optional region, as slices per axis, that :func:`run_scenario` reads
+        back through the random-access path to report chunks-touched stats.
+    """
+
+    name: str
+    description: str
+    dataset: str
+    shape: Tuple[int, ...]
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    fields: Optional[Tuple[str, ...]] = None
+    demo_region: Optional[Tuple[slice, ...]] = None
+
+    def build_fieldset(self, seed: int = 0) -> FieldSet:
+        """Generate (and optionally subset) the scenario's synthetic data."""
+        fieldset = make_dataset(self.dataset, shape=self.shape, seed=seed)
+        if self.fields is not None:
+            fieldset = fieldset.subset(list(self.fields))
+        return fieldset
+
+    def build_config(self) -> PipelineConfig:
+        """A validated copy of the preset, labelled with the scenario name."""
+        return replace(self.config, name=f"scenario:{self.name}").validate()
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register a scenario under ``scenario.name`` (replacing any previous one)."""
+    if not scenario.name:
+        raise ValueError("scenario must have a non-empty name")
+    scenario.build_config()  # fail at registration, not at run time
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    return _REGISTRY[name]
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of all registered scenarios."""
+    return sorted(_REGISTRY)
+
+
+def scenario_table() -> str:
+    """One line per registered scenario (used by ``repro run --list``)."""
+    lines = [f"{'scenario':<16} {'dataset':<10} {'grid':<12} description"]
+    for name in available_scenarios():
+        scenario = _REGISTRY[name]
+        lines.append(
+            f"{scenario.name:<16} {scenario.dataset:<10} "
+            f"{'x'.join(map(str, scenario.shape)):<12} {scenario.description}"
+        )
+    return "\n".join(lines)
+
+
+def run_scenario(
+    name: str,
+    output: PathLike,
+    seed: int = 0,
+    verify: bool = True,
+) -> PipelineResult:
+    """Run one scenario end to end: generate, compress, verify, demo-read.
+
+    Writes the archive to ``output`` and returns the
+    :class:`~repro.pipeline.pipeline.PipelineResult` with the deep
+    verification report attached (unless ``verify=False``) and, for scenarios
+    with a ``demo_region``, random-access read statistics under
+    ``extras["random_access"]``.
+    """
+    scenario = get_scenario(name)
+    fieldset = scenario.build_fieldset(seed=seed)
+    pipeline = CompressionPipeline(scenario.build_config())
+    result = pipeline.compress(fieldset, output)
+    if verify:
+        result.verify_report = pipeline.verify(output, deep=True)
+    if scenario.demo_region is not None:
+        with ArchiveReader(output) as reader:
+            field_name = reader.names[0]
+            window = reader.read_region(field_name, scenario.demo_region)
+            stats = reader.cache_stats()
+            total_chunks = len(reader.field(field_name).chunks)
+        result.extras["random_access"] = {
+            "field": field_name,
+            "region_shape": list(window.shape),
+            "chunks_decoded": stats["chunks_decoded"],
+            "total_chunks": total_chunks,
+        }
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# built-in scenarios
+# --------------------------------------------------------------------------- #
+register_scenario(
+    Scenario(
+        name="climate-small",
+        description="CESM-like 2D radiative fields through the SZ baseline",
+        dataset="cesm",
+        shape=(48, 96),
+        fields=("CLDTOT", "FLNT", "FLNTC", "LWCF"),
+        config=PipelineConfig(codec="sz", error_bound=1e-3, chunk_shape=(24, 48)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="cross-field",
+        description="Hurricane Wf stored via cross-field prediction from archived anchors",
+        dataset="hurricane",
+        shape=(8, 32, 32),
+        fields=("Uf", "Vf", "Pf", "Wf"),
+        config=PipelineConfig(
+            codec="sz",
+            error_bound=1e-3,
+            chunk_shape=(8, 16, 16),
+            fields={
+                "Wf": FieldRule(
+                    codec="cross-field",
+                    anchors=("Uf", "Vf", "Pf"),
+                    codec_params=dict(_FAST_CROSS_FIELD),
+                )
+            },
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="random-access",
+        description="SCALE-like 3D winds, small ZFP chunks sized for region reads",
+        dataset="scale",
+        shape=(12, 48, 48),
+        fields=("U", "V", "W"),
+        config=PipelineConfig(codec="zfp", error_bound=1e-3, chunk_shape=(4, 16, 16)),
+        demo_region=(slice(0, 4), slice(8, 24), slice(8, 24)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="lossless-audit",
+        description="Bit-exact archiving of CESM cloud fields (no error bound)",
+        dataset="cesm",
+        shape=(32, 64),
+        fields=("CLDLOW", "CLDMED", "CLDHGH"),
+        config=PipelineConfig(codec="lossless", chunk_shape=(16, 32)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="mixed-codecs",
+        description="One archive mixing sz, zfp, lossless and cross-field per field",
+        dataset="cesm",
+        shape=(48, 96),
+        fields=("FLNT", "FLNTC", "FLUTC", "LWCF"),
+        config=PipelineConfig(
+            codec="sz",
+            error_bound=1e-3,
+            chunk_shape=(24, 48),
+            fields={
+                "FLNTC": FieldRule(codec="zfp"),
+                "FLUTC": FieldRule(codec="lossless"),
+                "LWCF": FieldRule(
+                    codec="cross-field",
+                    anchors=("FLUTC", "FLNT"),
+                    codec_params=dict(_FAST_CROSS_FIELD),
+                ),
+            },
+        ),
+    )
+)

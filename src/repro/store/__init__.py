@@ -15,7 +15,11 @@ decompresses only the chunks a request intersects.
 - :mod:`repro.store.reader` — random-access :class:`ArchiveReader` with
   CRC re-verification and an LRU decompressed-chunk cache.
 - :mod:`repro.store.cli` — the ``repro`` console script
-  (``pack`` / ``unpack`` / ``ls`` / ``extract`` / ``verify``).
+  (``pack`` / ``unpack`` / ``ls`` / ``extract`` / ``verify`` plus the
+  pipeline-driven ``run`` / ``compress`` / ``decompress``).
+
+The byte-level format is specified in ``docs/xfa1-format.md``; the high-level,
+config-driven API over this store lives in :mod:`repro.pipeline`.
 """
 
 from repro.store.cache import LRUChunkCache

@@ -1,6 +1,6 @@
-"""``repro`` — command line interface to the chunked archive store.
+"""``repro`` — command line interface to the archive store and the pipeline.
 
-Subcommands drive the store end-to-end::
+Store subcommands drive the ``XFA1`` archive end-to-end::
 
     repro pack cesm snapshot.xfa --error-bound 1e-3          # synthetic dataset
     repro pack ./fieldset_dir snapshot.xfa --codec zfp       # SDRBench-style dir
@@ -9,11 +9,20 @@ Subcommands drive the store end-to-end::
     repro verify snapshot.xfa --deep
     repro unpack snapshot.xfa ./restored
 
+Pipeline subcommands (see :mod:`repro.pipeline` and ``docs/pipeline.md``)
+run configuration-driven workloads::
+
+    repro run --list                         # registered scenarios
+    repro run cross-field -o cf.xfa          # scenario -> verified archive
+    repro compress config.json               # PipelineConfig JSON -> archive
+    repro decompress snapshot.xfa ./restored # archive -> fieldset directory
+
 ``pack`` accepts either a directory previously written by
 :func:`repro.data.io.write_fieldset` (a ``manifest.json`` plus raw binary
 fields) or the name of a synthetic dataset generator (``cesm``, ``scale``,
 ``hurricane``).  ``--cross-field TARGET=A1,A2`` stores a field with the
-cross-field codec anchored on other fields of the same archive.
+cross-field codec anchored on other fields of the same archive; ``compress``
+expresses the same (and per-field codecs/bounds) declaratively in JSON.
 
 Installed as a console script via ``setup.py`` (``pip install -e .`` puts
 ``repro`` on the PATH); ``python -m repro.store.cli`` works without install.
@@ -241,6 +250,71 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# pipeline subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.pipeline import available_scenarios, run_scenario, scenario_table
+
+    if args.list or args.scenario is None:
+        print(scenario_table())
+        if args.scenario is None and not args.list:
+            print("\nusage: repro run <scenario> [-o archive]", file=sys.stderr)
+            return 2
+        return 0
+    output = args.output or f"{args.scenario}.xfa"
+    result = run_scenario(args.scenario, output, seed=args.seed, verify=not args.no_verify)
+    print(result.format())
+    random_access = result.extras.get("random_access")
+    if random_access:
+        print(
+            f"random access: read {random_access['field']} region "
+            f"{'x'.join(map(str, random_access['region_shape']))} touching "
+            f"{random_access['chunks_decoded']}/{random_access['total_chunks']} chunks"
+        )
+    if result.verified_ok is False:
+        for error in result.verify_report.get("errors", []):
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.pipeline import CompressionPipeline, PipelineConfig, PipelineConfigError
+
+    config = PipelineConfig.load(args.config)
+    source = args.source or config.source
+    output = args.output or config.output
+    if source is None:
+        raise PipelineConfigError(
+            "no source: pass --source or set \"source\" in the config JSON"
+        )
+    if output is None:
+        raise PipelineConfigError(
+            "no output: pass --output or set \"output\" in the config JSON"
+        )
+    fieldset = _load_source_fieldset(str(source), args.shape, args.seed)
+    if args.fields:
+        fieldset = fieldset.subset([f.strip() for f in args.fields.split(",")])
+    result = CompressionPipeline(config).compress(fieldset, output)
+    print(result.format())
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.data.io import write_fieldset
+    from repro.pipeline import CompressionPipeline
+
+    names = [f.strip() for f in args.fields.split(",")] if args.fields else None
+    fieldset = CompressionPipeline().decompress(args.archive, fields=names)
+    # preserve the archive's precision: write_fieldset stores one dtype for
+    # the whole set, so promote to the widest restored dtype (as `unpack` does)
+    dtype = np.result_type(*[fieldset[name].data.dtype for name in fieldset.names])
+    write_fieldset(fieldset, args.destination, dtype=dtype)
+    print(f"decompressed {len(fieldset)} fields to {args.destination} (dtype {dtype})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -297,6 +371,35 @@ def build_parser() -> argparse.ArgumentParser:
     unpack.add_argument("destination")
     unpack.add_argument("--fields", help="comma-separated subset of fields to unpack")
     unpack.set_defaults(func=_cmd_unpack)
+
+    run = sub.add_parser("run", help="run a registered pipeline scenario end to end")
+    run.add_argument("scenario", nargs="?", help="scenario name (see: repro run --list)")
+    run.add_argument("--list", action="store_true", help="list registered scenarios")
+    run.add_argument("-o", "--output", help="archive path (default: <scenario>.xfa)")
+    run.add_argument("--seed", type=int, default=0, help="synthetic data seed (default: 0)")
+    run.add_argument("--no-verify", action="store_true", help="skip the deep verification pass")
+    run.set_defaults(func=_cmd_run)
+
+    compress = sub.add_parser(
+        "compress", help="compress a fieldset as described by a pipeline config JSON"
+    )
+    compress.add_argument("config", help="PipelineConfig JSON file (see docs/pipeline.md)")
+    compress.add_argument(
+        "--source", help="fieldset directory or synthetic dataset name (overrides config)"
+    )
+    compress.add_argument("--output", help="archive path to write (overrides config)")
+    compress.add_argument("--fields", help="comma-separated subset of fields to compress")
+    compress.add_argument("--shape", help="grid shape for synthetic dataset sources")
+    compress.add_argument("--seed", type=int, default=None, help="seed for synthetic dataset sources")
+    compress.set_defaults(func=_cmd_compress)
+
+    decompress = sub.add_parser(
+        "decompress", help="decompress an archive into a fieldset directory via the pipeline"
+    )
+    decompress.add_argument("archive")
+    decompress.add_argument("destination")
+    decompress.add_argument("--fields", help="comma-separated subset of fields to restore")
+    decompress.set_defaults(func=_cmd_decompress)
 
     return parser
 

@@ -1,0 +1,74 @@
+"""The docs tree stays truthful: run scripts/check_docs.py under pytest.
+
+CI has a dedicated docs job, but running the same checks in the tier-1 suite
+means a PR that breaks a README or docs/ code block fails locally too.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "pipeline.md", "xfa1-format.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
+
+
+def test_readme_links_docs_tree():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ("docs/architecture.md", "docs/pipeline.md", "docs/xfa1-format.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_all_doc_code_blocks_pass(check_docs, capsys):
+    assert check_docs.main([]) == 0, capsys.readouterr().err
+
+
+def test_checker_extracts_blocks(check_docs):
+    blocks = check_docs.extract_blocks(
+        "text\n```python\nx = 1\n```\nmore\n```json\n{}\n```\n"
+    )
+    assert [(info, line) for info, _, line in blocks] == [("python", 2), ("json", 6)]
+
+
+def test_checker_flags_broken_blocks(check_docs, tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "```python\ndef broken(:\n```\n\n```json\n{nope}\n```\n", encoding="utf-8"
+    )
+    checked, errors = check_docs.check_file(bad)
+    assert checked == 2
+    assert len(errors) == 2
+
+
+def test_checker_runs_python_run_blocks(check_docs, tmp_path):
+    doc = tmp_path / "run.md"
+    doc.write_text("```python run\nraise RuntimeError('boom')\n```\n", encoding="utf-8")
+    checked, errors = check_docs.check_file(doc)
+    assert checked == 1
+    assert len(errors) == 1 and "boom" in errors[0]
+
+
+def test_checker_treats_clean_sys_exit_as_success(check_docs, tmp_path):
+    doc = tmp_path / "exit.md"
+    doc.write_text(
+        "```python run\nimport sys\nsys.exit(0)\n```\n"
+        "```python run\nimport sys\nsys.exit(3)\n```\n",
+        encoding="utf-8",
+    )
+    checked, errors = check_docs.check_file(doc)
+    assert checked == 2
+    assert len(errors) == 1 and "code 3" in errors[0]

@@ -1,0 +1,99 @@
+"""Scenario registry + one end-to-end ``repro run`` smoke test per scenario."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    PipelineConfig,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_table,
+)
+from repro.pipeline.scenarios import _REGISTRY
+from repro.store.cli import main
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = available_scenarios()
+        assert len(names) >= 3
+        for expected in ("climate-small", "cross-field", "random-access"):
+            assert expected in names
+
+    def test_get_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_scenario_table_lists_everything(self):
+        table = scenario_table()
+        for name in available_scenarios():
+            assert name in table
+
+    def test_register_validates_config_eagerly(self):
+        bad = Scenario(
+            name="bad",
+            description="invalid preset",
+            dataset="cesm",
+            shape=(16, 16),
+            config=PipelineConfig(codec="nope"),
+        )
+        with pytest.raises(ValueError, match="unknown codec"):
+            register_scenario(bad)
+        assert "bad" not in available_scenarios()
+
+    def test_register_and_replace_roundtrip(self):
+        scenario = Scenario(
+            name="tmp-test-scenario",
+            description="temporary",
+            dataset="cesm",
+            shape=(16, 32),
+            config=PipelineConfig(codec="lossless"),
+        )
+        try:
+            register_scenario(scenario)
+            assert get_scenario("tmp-test-scenario") is scenario
+        finally:
+            _REGISTRY.pop("tmp-test-scenario", None)
+
+    def test_build_fieldset_respects_subset_and_seed(self):
+        scenario = get_scenario("cross-field")
+        fieldset = scenario.build_fieldset(seed=11)
+        assert fieldset.names == list(scenario.fields)
+        assert fieldset.shape == scenario.shape
+        again = scenario.build_fieldset(seed=11)
+        assert np.array_equal(fieldset[fieldset.names[0]].data, again[fieldset.names[0]].data)
+
+
+class TestRunScenario:
+    def test_result_carries_verification(self, tmp_path):
+        result = run_scenario("lossless-audit", tmp_path / "a.xfa", seed=2)
+        assert result.verified_ok is True
+        assert result.archive.exists()
+
+    def test_random_access_demo_stats(self, tmp_path):
+        result = run_scenario("random-access", tmp_path / "ra.xfa", seed=2)
+        stats = result.extras["random_access"]
+        assert 0 < stats["chunks_decoded"] < stats["total_chunks"]
+
+
+@pytest.mark.parametrize("scenario", sorted(available_scenarios()))
+def test_repro_run_smoke(scenario, tmp_path, capsys):
+    """Every registered scenario runs end to end and verifies via the CLI."""
+    archive = tmp_path / f"{scenario}.xfa"
+    assert main(["run", scenario, "-o", str(archive), "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "verification: ok" in out
+    assert archive.exists()
+    # the produced archive passes a standalone `repro verify`
+    assert main(["verify", str(archive), "--deep"]) == 0
+    assert "passed" in capsys.readouterr().out
+
+
+def test_repro_run_list(capsys):
+    assert main(["run", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in available_scenarios():
+        assert name in out
