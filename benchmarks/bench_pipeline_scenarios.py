@@ -9,7 +9,7 @@ achieves, making regressions in any layer visible as a scenario slowdown.
 
 import time
 
-from conftest import run_once
+from conftest import bench_seed, run_once
 
 
 def _run_all(tmp_path):
@@ -18,7 +18,7 @@ def _run_all(tmp_path):
     rows = []
     for name in available_scenarios():
         start = time.perf_counter()
-        result = run_scenario(name, tmp_path / f"{name}.xfa", seed=1)
+        result = run_scenario(name, tmp_path / f"{name}.xfa", seed=bench_seed(f"scenario:{name}"))
         elapsed = time.perf_counter() - start
         assert result.verified_ok is True, f"scenario {name} failed verification"
         rows.append(

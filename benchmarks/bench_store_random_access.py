@@ -16,7 +16,7 @@ faster still.
 
 import time
 
-from conftest import run_once
+from conftest import bench_seed, run_once
 
 #: Region of interest: a small window inside a single 32x32 chunk (row chunk 1,
 #: column chunk 2 of the grid).
@@ -28,7 +28,7 @@ def _build_archive(tmp_path):
     from repro.store import ArchiveWriter
     from repro.sz.errors import ErrorBound
 
-    dataset = make_dataset("cesm", shape=(180, 360), seed=21)
+    dataset = make_dataset("cesm", shape=(180, 360), seed=bench_seed("store-random-access"))
     path = tmp_path / "bench.xfa"
     with ArchiveWriter(path, chunk_shape=(32, 32), error_bound=ErrorBound.relative(1e-3)) as writer:
         for name in ("FLNT", "FLNTC", "LWCF"):

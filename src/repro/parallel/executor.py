@@ -14,9 +14,6 @@ workloads dominated by pure-Python stages.
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,23 +22,26 @@ import numpy as np
 from repro.data.slicing import reassemble_blocks
 from repro.encoding.container import CompressedBlob
 from repro.parallel.blocks import BlockSpec, plan_blocks
+from repro.parallel.engine import ChunkScheduler
 from repro.sz.errors import ErrorBound
 from repro.sz.pipeline import CompressionResult, SZCompressor
 from repro.utils.validation import ensure_array, ensure_in
 
 __all__ = ["BlockCompressionResult", "BlockParallelCompressor", "parallel_map", "parallel_imap"]
 
+#: Kinds the block compressor accepts.  The shared engine additionally offers
+#: ``"process"``, but the per-block closures here capture the full input array
+#: and are deliberately not picklable, so it is not exposed at this level.
 EXECUTOR_KINDS = ("thread", "serial")
 
 
 def parallel_map(func, items, executor_kind: str = "thread", max_workers: Optional[int] = None) -> List:
     """Apply ``func`` to every item, optionally with a thread pool.
 
-    Used by :class:`BlockParallelCompressor`; the chunked archive store
-    (:mod:`repro.store`) streams through :func:`parallel_imap` instead.  Both
-    share the same executor semantics: ``"thread"`` uses a pool (NumPy and
-    zlib release the GIL), ``"serial"`` is the in-process reference loop.
-    Results preserve item order.
+    A thin wrapper over :class:`~repro.parallel.engine.ChunkScheduler`, kept
+    for callers that want a one-call functional interface: ``"thread"`` uses a
+    pool (NumPy and zlib release the GIL), ``"serial"`` is the in-process
+    reference loop.  Results preserve item order.
     """
     return list(parallel_imap(func, items, executor_kind, max_workers))
 
@@ -49,42 +49,15 @@ def parallel_map(func, items, executor_kind: str = "thread", max_workers: Option
 def parallel_imap(func, items, executor_kind: str = "thread", max_workers: Optional[int] = None):
     """Lazy variant of :func:`parallel_map`: yield results in item order.
 
-    With the thread executor, submissions are windowed to twice the worker
-    count: a new item is only submitted when the consumer has taken a result,
-    so a caller that processes each result as it arrives (e.g. the archive
-    writer streaming chunk payloads to disk) holds at most one window of
-    results in memory even when the workers outpace it — never the whole
-    output list.
+    Submissions are windowed (see :meth:`ChunkScheduler.imap`): a caller that
+    processes each result as it arrives holds at most one window of results
+    in memory even when the workers outpace it — never the whole output list.
+    Validation is eager; worker exceptions propagate unwrapped.
     """
-    # validate and snapshot eagerly — the generator body below only runs on
-    # first iteration, which would otherwise defer (or swallow) the error
+    # keep this module's narrower kind set (and its error message) for
+    # backwards compatibility before delegating to the shared engine
     ensure_in(executor_kind, EXECUTOR_KINDS, "executor_kind")
-    items = list(items)
-    return _imap_generator(func, items, executor_kind, max_workers)
-
-
-def _imap_generator(func, items, executor_kind, max_workers):
-    if executor_kind == "serial" or len(items) <= 1:
-        for item in items:
-            yield func(item)
-        return
-    # mirror ThreadPoolExecutor's own default worker count
-    workers = max_workers if max_workers is not None else min(32, (os.cpu_count() or 1) + 4)
-    window = 2 * workers
-    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-        pending = deque(pool.submit(func, item) for item in items[:window])
-        try:
-            for item in items[window:]:
-                yield pending.popleft().result()
-                pending.append(pool.submit(func, item))
-            while pending:
-                yield pending.popleft().result()
-        except BaseException:
-            # a failed item (or an abandoned consumer) must not stall on the
-            # rest of the submission window: drop queued work, keep only the
-            # futures already running
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
+    return ChunkScheduler(jobs=max_workers, executor_kind=executor_kind).imap(func, items)
 
 
 @dataclass
@@ -161,7 +134,9 @@ class BlockParallelCompressor:
         return block_shape
 
     def _map(self, func, items):
-        return parallel_map(func, items, self.executor_kind, self.max_workers)
+        # the engine is the orchestration body; this class only plans blocks
+        # and aggregates results
+        return ChunkScheduler(jobs=self.max_workers, executor_kind=self.executor_kind).map(func, items)
 
     # ------------------------------------------------------------------ #
     def compress(self, data: np.ndarray, field_name: str = "") -> BlockCompressionResult:

@@ -171,8 +171,16 @@ class PipelineConfig:
         against each full field, matching single-shot semantics).
     chunk_shape:
         Default chunk tile; ``None`` lets the archive writer pick 64 per axis.
-    max_workers / executor_kind:
-        Per-chunk compression worker pool (``"thread"`` or ``"serial"``).
+    jobs / executor_kind:
+        Worker pool for the shared chunk execution engine, used by *both*
+        directions: per-chunk compression on write and per-chunk decode on
+        :meth:`~repro.pipeline.pipeline.CompressionPipeline.decompress` /
+        ``verify``.  ``jobs=None`` sizes the pool to the machine, ``jobs=1``
+        forces the serial reference loop; ``executor_kind`` is ``"thread"``
+        or ``"serial"``.
+    max_workers:
+        Deprecated alias for ``jobs`` (kept for configs written before the
+        engine existed); ``jobs`` wins when both are set.
     fields:
         ``{field_name: FieldRule}`` overrides, including cross-field rules.
     source / output:
@@ -187,6 +195,7 @@ class PipelineConfig:
     codec: str = "sz"
     error_bound: ErrorBound = field(default_factory=lambda: ErrorBound.relative(1e-3))
     chunk_shape: Optional[Tuple[int, ...]] = None
+    jobs: Optional[int] = None
     max_workers: Optional[int] = None
     executor_kind: str = "thread"
     fields: Dict[str, FieldRule] = field(default_factory=dict)
@@ -204,6 +213,11 @@ class PipelineConfig:
     def rule_for(self, field_name: str) -> FieldRule:
         """The rule for ``field_name`` (an all-defaults rule when absent)."""
         return self.fields.get(field_name, FieldRule())
+
+    @property
+    def effective_jobs(self) -> Optional[int]:
+        """Engine worker count: ``jobs``, falling back to legacy ``max_workers``."""
+        return self.jobs if self.jobs is not None else self.max_workers
 
     def codec_for(self, field_name: str) -> str:
         """Effective codec registry name for ``field_name``."""
@@ -235,13 +249,14 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"executor_kind must be one of {_EXECUTOR_KINDS}, got {self.executor_kind!r}"
             )
-        if self.max_workers is not None:
-            if isinstance(self.max_workers, bool) or not isinstance(self.max_workers, int):
-                raise PipelineConfigError(
-                    f"max_workers must be an integer, got {self.max_workers!r}"
-                )
-            if self.max_workers < 1:
-                raise PipelineConfigError(f"max_workers must be >= 1, got {self.max_workers}")
+        for knob in ("jobs", "max_workers"):
+            value = getattr(self, knob)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise PipelineConfigError(f"{knob} must be an integer, got {value!r}")
+            if value < 1:
+                raise PipelineConfigError(f"{knob} must be >= 1, got {value}")
         if not isinstance(self.attrs, dict):
             raise PipelineConfigError(
                 f"attrs must be an object, got {type(self.attrs).__name__}"
@@ -327,6 +342,8 @@ class PipelineConfig:
         }
         if self.chunk_shape is not None:
             payload["chunk_shape"] = list(self.chunk_shape)
+        if self.jobs is not None:
+            payload["jobs"] = int(self.jobs)
         if self.max_workers is not None:
             payload["max_workers"] = int(self.max_workers)
         if self.fields:
@@ -351,6 +368,7 @@ class PipelineConfig:
                 "codec",
                 "error_bound",
                 "chunk_shape",
+                "jobs",
                 "max_workers",
                 "executor_kind",
                 "fields",
@@ -377,6 +395,7 @@ class PipelineConfig:
                 else ErrorBound.relative(1e-3)
             ),
             chunk_shape=payload.get("chunk_shape"),
+            jobs=payload.get("jobs"),
             max_workers=payload.get("max_workers"),
             executor_kind=payload.get("executor_kind", "thread"),
             fields={

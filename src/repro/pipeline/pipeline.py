@@ -218,7 +218,7 @@ class CompressionPipeline:
             codec=config.codec,
             error_bound=config.error_bound,
             chunk_shape=config.chunk_shape,
-            max_workers=config.max_workers,
+            max_workers=config.effective_jobs,
             executor_kind=config.executor_kind,
             attrs=attrs,
         ) as writer:
@@ -255,9 +255,11 @@ class CompressionPipeline:
 
         No configuration is needed to decode — the archive manifest records
         every codec and parameter — so this works on any XFA1 archive, not
-        just ones this pipeline wrote.  ``fields`` selects a subset.
+        just ones this pipeline wrote.  ``fields`` selects a subset.  Chunk
+        decodes run through the shared execution engine, honouring the
+        config's ``jobs`` / ``executor_kind`` knobs.
         """
-        with ArchiveReader(path) as reader:
+        with self._open_reader(path) as reader:
             names = list(fields) if fields is not None else reader.names
             restored = FieldSet(
                 [Field(name, reader.read_field(name)) for name in names],
@@ -269,10 +271,19 @@ class CompressionPipeline:
         """CRC-check (and with ``deep=True`` fully decode) every chunk.
 
         Returns the :meth:`~repro.store.reader.ArchiveReader.verify` report:
-        ``{"ok": bool, "fields": {...}, "errors": [...]}``.
+        ``{"ok": bool, "fields": {...}, "errors": [...]}``.  Chunk checks run
+        through the shared execution engine (``jobs`` / ``executor_kind``).
         """
-        with ArchiveReader(path) as reader:
+        with self._open_reader(path) as reader:
             return reader.verify(deep=deep)
+
+    def _open_reader(self, path: PathLike) -> ArchiveReader:
+        """An :class:`ArchiveReader` wired to the config's engine knobs."""
+        return ArchiveReader(
+            path,
+            jobs=self.config.effective_jobs,
+            executor_kind=self.config.executor_kind,
+        )
 
 
 def reconstruct_anchors(

@@ -130,6 +130,7 @@ def run_scenario(
     output: PathLike,
     seed: int = 0,
     verify: bool = True,
+    jobs: Optional[int] = None,
 ) -> PipelineResult:
     """Run one scenario end to end: generate, compress, verify, demo-read.
 
@@ -137,16 +138,20 @@ def run_scenario(
     :class:`~repro.pipeline.pipeline.PipelineResult` with the deep
     verification report attached (unless ``verify=False``) and, for scenarios
     with a ``demo_region``, random-access read statistics under
-    ``extras["random_access"]``.
+    ``extras["random_access"]``.  ``jobs`` overrides the scenario config's
+    engine worker count (``1`` forces serial execution end to end).
     """
     scenario = get_scenario(name)
     fieldset = scenario.build_fieldset(seed=seed)
-    pipeline = CompressionPipeline(scenario.build_config())
+    config = scenario.build_config()
+    if jobs is not None:
+        config = replace(config, jobs=jobs).validate()
+    pipeline = CompressionPipeline(config)
     result = pipeline.compress(fieldset, output)
     if verify:
         result.verify_report = pipeline.verify(output, deep=True)
     if scenario.demo_region is not None:
-        with ArchiveReader(output) as reader:
+        with ArchiveReader(output, jobs=jobs) as reader:
             field_name = reader.names[0]
             window = reader.read_region(field_name, scenario.demo_region)
             stats = reader.cache_stats()

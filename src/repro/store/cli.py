@@ -158,7 +158,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         codec=args.codec,
         error_bound=error_bound,
         chunk_shape=_parse_chunk_shape(args.chunk),
-        max_workers=args.workers,
+        max_workers=args.workers if args.workers is not None else args.jobs,
         attrs={"source": str(args.source), "dataset": fieldset.name},
     ) as writer:
         entries = writer.add_fieldset(fieldset, cross_field=cross_field)
@@ -198,7 +198,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     from repro.store.reader import ArchiveReader
 
     region = parse_region(args.region) if args.region else None
-    with ArchiveReader(args.archive) as reader:
+    with ArchiveReader(args.archive, jobs=args.jobs) as reader:
         data = reader.read_region(args.field, region)
         stats = reader.cache_stats()
     if args.output:
@@ -216,7 +216,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.store.reader import ArchiveReader
 
-    with ArchiveReader(args.archive) as reader:
+    with ArchiveReader(args.archive, jobs=args.jobs) as reader:
         report = reader.verify(deep=args.deep)
     mode = "deep" if args.deep else "crc"
     for name, field_report in report["fields"].items():
@@ -233,7 +233,7 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
     from repro.data.io import write_fieldset
     from repro.store.reader import ArchiveReader
 
-    with ArchiveReader(args.archive) as reader:
+    with ArchiveReader(args.archive, jobs=args.jobs) as reader:
         names = (
             [f.strip() for f in args.fields.split(",")] if args.fields else reader.names
         )
@@ -262,7 +262,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         return 0
     output = args.output or f"{args.scenario}.xfa"
-    result = run_scenario(args.scenario, output, seed=args.seed, verify=not args.no_verify)
+    result = run_scenario(
+        args.scenario, output, seed=args.seed, verify=not args.no_verify, jobs=args.jobs
+    )
     print(result.format())
     random_access = result.extras.get("random_access")
     if random_access:
@@ -282,6 +284,10 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     from repro.pipeline import CompressionPipeline, PipelineConfig, PipelineConfigError
 
     config = PipelineConfig.load(args.config)
+    if args.jobs is not None:
+        from dataclasses import replace
+
+        config = replace(config, jobs=args.jobs).validate()
     source = args.source or config.source
     output = args.output or config.output
     if source is None:
@@ -302,10 +308,11 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     from repro.data.io import write_fieldset
-    from repro.pipeline import CompressionPipeline
+    from repro.pipeline import CompressionPipeline, PipelineConfig
 
     names = [f.strip() for f in args.fields.split(",")] if args.fields else None
-    fieldset = CompressionPipeline().decompress(args.archive, fields=names)
+    pipeline = CompressionPipeline(PipelineConfig(jobs=args.jobs))
+    fieldset = pipeline.decompress(args.archive, fields=names)
     # preserve the archive's precision: write_fieldset stores one dtype for
     # the whole set, so promote to the widest restored dtype (as `unpack` does)
     dtype = np.result_type(*[fieldset[name].data.dtype for name in fieldset.names])
@@ -323,9 +330,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Chunked archive store for error-bounded compressed scientific fields.",
     )
+    jobs_help = (
+        "worker threads for the chunk execution engine (compression and "
+        "decompression; default: auto-sized to the machine, 1 = serial)"
+    )
+    parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N", help=jobs_help)
+    # the same flag is accepted after the subcommand (`repro verify a.xfa -j4`);
+    # SUPPRESS keeps the subparser from clobbering a value parsed at the root
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "-j", "--jobs", type=int, default=argparse.SUPPRESS, metavar="N", help=jobs_help
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    pack = sub.add_parser("pack", help="compress a fieldset into an archive")
+    pack = sub.add_parser("pack", help="compress a fieldset into an archive", parents=[jobs_parent])
     pack.add_argument("source", help="fieldset directory or synthetic dataset name (cesm/scale/hurricane)")
     pack.add_argument("archive", help="output archive path")
     pack.add_argument("--codec", default="sz", help="default codec for all fields (default: sz)")
@@ -345,12 +363,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.set_defaults(func=_cmd_pack)
 
-    ls = sub.add_parser("ls", help="list the fields of an archive")
+    ls = sub.add_parser("ls", help="list the fields of an archive", parents=[jobs_parent])
     ls.add_argument("archive")
     ls.add_argument("--json", action="store_true", help="machine-readable output")
     ls.set_defaults(func=_cmd_ls)
 
-    extract = sub.add_parser("extract", help="read a field (or region) out of an archive")
+    extract = sub.add_parser("extract", help="read a field (or region) out of an archive", parents=[jobs_parent])
     extract.add_argument("archive")
     extract.add_argument("field")
     extract.add_argument(
@@ -361,18 +379,18 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("-o", "--output", help="write the region to a .npy file")
     extract.set_defaults(func=_cmd_extract)
 
-    verify = sub.add_parser("verify", help="check chunk CRCs (and optionally decode)")
+    verify = sub.add_parser("verify", help="check chunk CRCs (and optionally decode)", parents=[jobs_parent])
     verify.add_argument("archive")
     verify.add_argument("--deep", action="store_true", help="also decompress every chunk")
     verify.set_defaults(func=_cmd_verify)
 
-    unpack = sub.add_parser("unpack", help="decompress an archive back into a fieldset directory")
+    unpack = sub.add_parser("unpack", help="decompress an archive back into a fieldset directory", parents=[jobs_parent])
     unpack.add_argument("archive")
     unpack.add_argument("destination")
     unpack.add_argument("--fields", help="comma-separated subset of fields to unpack")
     unpack.set_defaults(func=_cmd_unpack)
 
-    run = sub.add_parser("run", help="run a registered pipeline scenario end to end")
+    run = sub.add_parser("run", help="run a registered pipeline scenario end to end", parents=[jobs_parent])
     run.add_argument("scenario", nargs="?", help="scenario name (see: repro run --list)")
     run.add_argument("--list", action="store_true", help="list registered scenarios")
     run.add_argument("-o", "--output", help="archive path (default: <scenario>.xfa)")
@@ -381,7 +399,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     compress = sub.add_parser(
-        "compress", help="compress a fieldset as described by a pipeline config JSON"
+        "compress",
+        help="compress a fieldset as described by a pipeline config JSON",
+        parents=[jobs_parent],
     )
     compress.add_argument("config", help="PipelineConfig JSON file (see docs/pipeline.md)")
     compress.add_argument(
@@ -394,7 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser(
-        "decompress", help="decompress an archive into a fieldset directory via the pipeline"
+        "decompress",
+        help="decompress an archive into a fieldset directory via the pipeline",
+        parents=[jobs_parent],
     )
     decompress.add_argument("archive")
     decompress.add_argument("destination")
@@ -406,16 +428,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console-script entry point; returns the process exit code."""
+    from repro.parallel.engine import ChunkTaskError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, OSError, KeyError) as exc:
+    except (ValueError, OSError, KeyError, ChunkTaskError) as exc:
         # ArchiveError/ArchiveCorruptionError are ValueError subclasses; plain
         # ValueError also covers malformed --region/--chunk/--shape strings
         # and unknown codec names; OSError covers missing, unreadable and
-        # directory paths.  KeyError.__str__ would wrap the message in
-        # spurious quotes, so unwrap its argument.
+        # directory paths; ChunkTaskError wraps per-chunk worker failures
+        # (its message names the failing field and chunk).  KeyError.__str__
+        # would wrap the message in spurious quotes, so unwrap its argument.
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2

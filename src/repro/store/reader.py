@@ -6,6 +6,13 @@ only the chunks that intersect the requested slices — each chunk is one
 ``seek`` + ``read`` + CRC check + decode, with decoded chunks kept in an LRU
 cache so repeated reads of nearby regions are served hot.
 
+Multi-chunk reads and :meth:`~ArchiveReader.verify` fan chunks out through the
+shared :class:`~repro.parallel.engine.ChunkScheduler` (the same engine the
+writer compresses through): payload I/O serialises on the file-handle lock,
+codec decodes run outside every lock, and decoded chunks are assembled into a
+preallocated output array as they arrive, in completion order.  ``jobs=1``
+(or ``executor_kind="serial"``) restores the serial reference loop.
+
 The chunk-fetch engine lives in :class:`ChunkFetcher`, shared with
 :class:`~repro.store.writer.ArchiveWriter`: the writer uses the same code to
 reconstruct anchor chunks for cross-field fields, guaranteeing that encode and
@@ -22,6 +29,7 @@ from typing import BinaryIO, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.parallel.engine import ChunkScheduler
 from repro.store.cache import DEFAULT_CACHE_BYTES, LRUChunkCache
 from repro.store.codecs import Codec, get_codec
 from repro.store.manifest import (
@@ -167,6 +175,21 @@ class ChunkFetcher:
 class ArchiveReader:
     """Random-access reader for one ``XFA1`` archive file.
 
+    Parameters
+    ----------
+    path:
+        The archive file.
+    cache_bytes / cache_entries:
+        Decoded-chunk LRU cache budget (see :class:`LRUChunkCache`).
+    jobs:
+        Worker count for multi-chunk reads and verification: ``None`` sizes
+        the pool to the machine, ``1`` decodes serially in the calling thread.
+    executor_kind:
+        ``"thread"`` (default — codecs release the GIL) or ``"serial"``.
+
+    The reader is safe to share between threads: the file handle and the
+    chunk cache are internally locked, and decodes run outside both locks.
+
     Examples
     --------
     >>> from repro.store import ArchiveReader  # doctest: +SKIP
@@ -179,7 +202,18 @@ class ArchiveReader:
         path: PathLike,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         cache_entries: Optional[int] = None,
+        jobs: Optional[int] = None,
+        executor_kind: str = "thread",
     ) -> None:
+        if executor_kind == "process":
+            # chunk fetches close over the reader's file handle and cache
+            raise ValueError(
+                "archive reads support executor_kind 'thread' or 'serial' "
+                "(chunk fetches share one file handle and cache)"
+            )
+        # reuse_pool: region reads are many-small-batches; per-call pool
+        # construction would rival the decode cost of a few-chunk read
+        self._scheduler = ChunkScheduler(jobs=jobs, executor_kind=executor_kind, reuse_pool=True)
         self.path = Path(path)
         self._fh: Optional[BinaryIO] = open(self.path, "rb")
         try:
@@ -216,7 +250,8 @@ class ArchiveReader:
         return ArchiveManifest.from_json(manifest_bytes)
 
     def close(self) -> None:
-        """Close the underlying file handle."""
+        """Close the underlying file handle and release the worker pool."""
+        self._scheduler.close()
         if self._fh is not None:
             self._fh.close()
             self._fh = None
@@ -271,17 +306,26 @@ class ArchiveReader:
 
         ``region`` is a tuple of slices/ints (trailing axes default to full
         extent; ``None`` reads the whole field).  Only chunks intersecting the
-        region are read from disk and decompressed.
+        region are read from disk and decompressed; multi-chunk regions are
+        fetched and decoded in parallel through the reader's scheduler and
+        assembled into one preallocated output array as they complete.
         """
         self._require_open()
         entry = self.manifest[name]
         sls = normalize_region(entry.shape, region)
         out_shape = tuple(sl.stop - sl.start for sl in sls)
         out = np.empty(out_shape, dtype=np.dtype(entry.dtype))
-        for index in chunks_intersecting_region(entry.shape, entry.chunk_shape, sls):
+        indices = chunks_intersecting_region(entry.shape, entry.chunk_shape, sls)
+
+        def fetch(index: int) -> Tuple[int, np.ndarray]:
             # get_chunk first: it bounds-checks `index` against the (possibly
             # malformed) manifest chunk list before we index into it
-            chunk = self._fetcher.get_chunk(name, index)
+            return index, self._fetcher.get_chunk(name, index)
+
+        # Unordered collection: each worker does one seek+read under io_lock
+        # and decodes outside every lock; the main thread writes each decoded
+        # chunk into its slot as soon as it arrives (slots are disjoint).
+        for _, (index, chunk) in self._scheduler.imap_unordered(fetch, indices):
             chunk_entry = entry.chunks[index]
             dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
             out[dest] = chunk[src]
@@ -313,7 +357,8 @@ class ArchiveReader:
                     f"field {entry.name!r}: manifest lists {len(entry.chunks)} chunks "
                     f"but the chunk grid {entry.grid_counts} requires {expected_chunks}"
                 )
-            for chunk in entry.chunks:
+
+            def check(chunk: ChunkEntry, entry: FieldEntry = entry) -> Optional[str]:
                 try:
                     if deep:
                         self._fetcher.get_chunk(entry.name, chunk.index, refresh=True, _fresh=fresh)
@@ -324,11 +369,37 @@ class ArchiveReader:
                 # (zlib.error, struct.error, ...) that must become report
                 # entries, not tracebacks
                 except Exception as exc:
-                    field_report["ok"] = False
-                    report["ok"] = False
-                    report["errors"].append(str(exc))
+                    return _chunk_error_message(entry.name, chunk.index, exc)
+                return None
+
+            # Fields are verified one after another (write order, so anchors
+            # are re-decoded before the cross-field targets that consume
+            # them), but the chunks *within* a field check in parallel: with
+            # aligned grids, chunk i of a target only touches chunk i of its
+            # anchors, so concurrent tasks never race on the same chunk.
+            # Ordered collection keeps the error list deterministic.
+            errors = [e for e in self._scheduler.map(check, entry.chunks) if e is not None]
+            if errors:
+                field_report["ok"] = False
+                report["ok"] = False
+                report["errors"].extend(errors)
             report["fields"][entry.name] = field_report
         return report
+
+
+def _chunk_error_message(name: str, index: int, exc: Exception) -> str:
+    """A verify-report entry that always names the field and chunk.
+
+    :class:`ArchiveCorruptionError` messages already carry their own
+    ``field ... chunk ...`` context; bare codec-backend errors (``zlib.error``,
+    ``struct.error``, ...) do not, and a bare ``str(exc)`` is useless in a
+    multi-field report — prefix those with the failing chunk's coordinates.
+    """
+    prefix = f"field {name!r} chunk {index}"
+    message = str(exc)
+    if prefix in message:
+        return message
+    return f"{prefix}: {message}"
 
 
 def _overlap(

@@ -2,10 +2,10 @@
 
 :class:`ArchiveWriter` compresses each added field chunk-by-chunk (the chunk
 grid comes from :func:`repro.parallel.blocks.plan_blocks`, the worker pool from
-:func:`repro.parallel.executor.parallel_imap`) and appends the payloads to the
-archive file as soon as they are ready — the windowed, in-order streaming of
-``parallel_imap`` is what keeps the full compressed archive out of memory.
-The JSON manifest and footer are written on :meth:`close`.
+the shared :class:`~repro.parallel.engine.ChunkScheduler`) and appends the
+payloads to the archive file as soon as they are ready — the scheduler's
+windowed, in-order streaming is what keeps the full compressed archive out of
+memory.  The JSON manifest and footer are written on :meth:`close`.
 
 Error-bound semantics match :class:`~repro.parallel.executor.BlockParallelCompressor`:
 a relative bound is resolved once against the *full* field, and every chunk is
@@ -29,7 +29,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.parallel.blocks import plan_blocks
-from repro.parallel.executor import parallel_imap
+from repro.parallel.engine import ChunkScheduler
 from repro.store.cache import LRUChunkCache
 from repro.store.codecs import codec_class, get_codec
 from repro.store.manifest import (
@@ -99,6 +99,14 @@ class ArchiveWriter:
         self.default_chunk_shape = tuple(int(c) for c in chunk_shape) if chunk_shape else None
         self.max_workers = max_workers
         self.executor_kind = executor_kind
+        if executor_kind == "process":
+            # chunk encodes close over the input array and the shared fetcher
+            raise ValueError(
+                "archive writes support executor_kind 'thread' or 'serial' "
+                "(chunk encodes share one file handle and anchor cache)"
+            )
+        # validates jobs/kind eagerly, before any file is created
+        self._scheduler = ChunkScheduler(jobs=max_workers, executor_kind=executor_kind)
         attrs = dict(attrs or {})
         try:
             # sort_keys matches the manifest serialization in close(), so
@@ -332,7 +340,9 @@ class ArchiveWriter:
         # memory holds only results completed ahead of the write position,
         # never the field's whole compressed output.  Appends share the file
         # handle with the fetcher's anchor reads, hence the io_lock.
-        payloads = parallel_imap(encode, specs, self.executor_kind, self.max_workers)
+        payloads = self._scheduler.imap(
+            encode, specs, context=lambda i, spec: f"field {name!r} chunk {i}"
+        )
         for spec, payload in zip(specs, payloads):
             entry.chunks.append(
                 ChunkEntry(

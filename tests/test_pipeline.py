@@ -88,6 +88,30 @@ class TestCompress:
         assert sorted(restored.names) == ["FLNT", "FLNTC", "FLUTC"]
         assert restored.name == cesm.name
 
+    def test_jobs_knob_reaches_both_directions(self, cesm, tmp_path):
+        # serial (jobs=1) and parallel pipelines must produce identical
+        # archives and identical restored fieldsets — the engine only changes
+        # scheduling, never results
+        restored = {}
+        for jobs in (1, 4):
+            config = PipelineConfig(codec="sz", error_bound=1e-3, chunk_shape=(24, 48), jobs=jobs)
+            pipeline = CompressionPipeline(config)
+            path = tmp_path / f"jobs{jobs}.xfa"
+            pipeline.compress(cesm, path, fields=["FLNT", "FLNTC"])
+            assert pipeline.verify(path, deep=True)["ok"]
+            restored[jobs] = pipeline.decompress(path)
+        # identical compressed chunks (the recorded pipeline_config attr
+        # differs by the jobs value itself, so whole files are not compared)
+        crcs = {}
+        for jobs in (1, 4):
+            with ArchiveReader(tmp_path / f"jobs{jobs}.xfa") as reader:
+                crcs[jobs] = {
+                    name: [c.crc32 for c in reader.field(name).chunks] for name in reader.names
+                }
+        assert crcs[1] == crcs[4]
+        for name in restored[1].names:
+            assert np.array_equal(restored[1][name].data, restored[4][name].data)
+
 
 class TestCrossFieldRules:
     def test_target_written_after_anchors_and_bounded(self, tmp_path):

@@ -14,6 +14,7 @@ def _full_config() -> PipelineConfig:
         codec="sz",
         error_bound=ErrorBound.relative(1e-3),
         chunk_shape=(8, 16, 16),
+        jobs=3,
         max_workers=2,
         executor_kind="thread",
         fields={
@@ -64,6 +65,18 @@ class TestRoundTrip:
         assert config.error_bound_for("Uf") == ErrorBound.relative(1e-3)
         assert config.error_bound_for("Wf") == ErrorBound.absolute(0.5)
 
+    def test_jobs_round_trips_and_wins_over_max_workers(self):
+        config = _full_config()
+        assert config.jobs == 3 and config.max_workers == 2
+        assert config.effective_jobs == 3  # jobs wins when both are set
+        restored = PipelineConfig.from_json(config.to_json())
+        assert restored.jobs == 3 and restored.max_workers == 2
+
+    def test_effective_jobs_falls_back_to_legacy_max_workers(self):
+        assert PipelineConfig(max_workers=5).effective_jobs == 5
+        assert PipelineConfig().effective_jobs is None
+        assert PipelineConfig(jobs=1).effective_jobs == 1
+
 
 class TestValidationErrors:
     def test_unknown_codec(self):
@@ -82,6 +95,14 @@ class TestValidationErrors:
     def test_bad_max_workers(self):
         with pytest.raises(PipelineConfigError, match="max_workers"):
             PipelineConfig(max_workers=0).validate()
+
+    def test_bad_jobs(self):
+        with pytest.raises(PipelineConfigError, match="jobs"):
+            PipelineConfig(jobs=0).validate()
+        with pytest.raises(PipelineConfigError, match="jobs"):
+            PipelineConfig(jobs="many").validate()
+        with pytest.raises(PipelineConfigError, match="jobs"):
+            PipelineConfig(jobs=True).validate()
 
     def test_non_positive_chunk_shape(self):
         with pytest.raises(PipelineConfigError, match="positive"):

@@ -276,6 +276,77 @@ class TestWriterValidation:
         assert paths[0].read_bytes() == paths[1].read_bytes()
 
 
+class TestParallelReads:
+    def test_jobs_one_matches_parallel(self, archive):
+        with ArchiveReader(archive, jobs=1) as serial, ArchiveReader(archive) as parallel:
+            for name in serial.names:
+                assert np.array_equal(serial.read_field(name), parallel.read_field(name))
+            region = (slice(5, 40), slice(20, 90))
+            assert np.array_equal(
+                serial.read_region("FLNT", region), parallel.read_region("FLNT", region)
+            )
+
+    def test_serial_executor_kind_matches_thread(self, archive):
+        with ArchiveReader(archive, executor_kind="serial") as serial:
+            with ArchiveReader(archive, executor_kind="thread", jobs=4) as threaded:
+                assert np.array_equal(serial.read_field("LWCF"), threaded.read_field("LWCF"))
+
+    def test_process_kind_rejected(self, archive, tmp_path):
+        with pytest.raises(ValueError, match="thread"):
+            ArchiveReader(archive, executor_kind="process")
+        # the writer rejects it eagerly too (encodes are not picklable)
+        with pytest.raises(ValueError, match="thread"):
+            ArchiveWriter(tmp_path / "a.xfa", executor_kind="process")
+
+    def test_parallel_verify_matches_serial(self, archive):
+        with ArchiveReader(archive, jobs=1) as serial:
+            serial_report = serial.verify(deep=True)
+        with ArchiveReader(archive, jobs=4) as parallel:
+            parallel_report = parallel.verify(deep=True)
+        assert serial_report == parallel_report
+        assert parallel_report["ok"]
+
+    def test_shared_reader_is_thread_safe(self, archive):
+        # regression: many threads hammering one reader (shared file handle,
+        # shared LRU cache, nested per-read pools) must all see exact data
+        regions = [
+            None,
+            (slice(0, 30), slice(0, 50)),
+            (slice(10, 40), slice(30, 70)),
+            (slice(20, 48), slice(40, 96)),
+        ]
+        with ArchiveReader(archive, cache_bytes=256 * 1024) as reader:
+            expected = {
+                (name, i): reader.read_region(name, region)
+                for name in ("FLNT", "LWCF")
+                for i, region in enumerate(regions)
+            }
+            errors = []
+            results = {}
+
+            def hammer(worker):
+                try:
+                    for repeat in range(3):
+                        for name in ("FLNT", "LWCF"):
+                            for i, region in enumerate(regions):
+                                results[(worker, repeat, name, i)] = reader.read_region(
+                                    name, region
+                                )
+                except Exception as exc:  # pragma: no cover - failure reporting
+                    errors.append(exc)
+
+            import threading
+
+            threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            for (_, _, name, i), data in results.items():
+                assert np.array_equal(data, expected[(name, i)]), (name, i)
+
+
 class TestCorruption:
     def test_chunk_crc_detected(self, archive):
         with ArchiveReader(archive) as reader:
@@ -339,6 +410,39 @@ class TestCorruption:
             assert not report["ok"]
             assert not report["fields"]["CLDLOW"]["ok"]  # the lossless field
             assert any("invalid compressed stream" in e for e in report["errors"])
+
+    def test_verify_errors_always_name_field_and_chunk(self, archive, monkeypatch):
+        # bare backend errors carry no coordinates of their own; the report
+        # must still say which field and chunk failed, for every chunk
+        from repro.store.codecs import LosslessChunkCodec
+
+        def broken_decode(self, payload, anchors=None):
+            raise zlib.error("invalid compressed stream")
+
+        monkeypatch.setattr(LosslessChunkCodec, "decode", broken_decode)
+        with ArchiveReader(archive) as reader:
+            n_chunks = len(reader.field("CLDLOW").chunks)
+            report = reader.verify(deep=True)
+        assert len(report["errors"]) == n_chunks
+        for index in range(n_chunks):
+            assert (
+                f"field 'CLDLOW' chunk {index}: invalid compressed stream"
+                in report["errors"]
+            )
+
+    def test_verify_keeps_context_of_corruption_errors_unduplicated(self, archive):
+        with ArchiveReader(archive) as reader:
+            chunk = reader.field("FLNT").chunks[1]
+        raw = bytearray(archive.read_bytes())
+        raw[chunk.offset + 2] ^= 0xFF
+        archive.write_bytes(bytes(raw))
+        with ArchiveReader(archive) as reader:
+            report = reader.verify()
+        crc_errors = [e for e in report["errors"] if "CRC" in e]
+        assert crc_errors, report["errors"]
+        for error in crc_errors:
+            # ArchiveCorruptionError already names the chunk; no double prefix
+            assert error.count("field 'FLNT' chunk 1") == 1
 
     def test_manifest_crc_detected(self, archive):
         raw = bytearray(archive.read_bytes())

@@ -167,6 +167,63 @@ class TestCLI:
         err = capsys.readouterr().err
         assert err.startswith("error: no field named")  # no KeyError repr quoting
 
+    def test_jobs_flag_global_and_per_subcommand(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT", "FLNTC"]), src)
+        archive = tmp_path / "snap.xfa"
+        assert main(["--jobs", "2", "pack", str(src), str(archive), "--chunk", "24,24"]) == 0
+        capsys.readouterr()
+
+        # verify: flag accepted at the root and after the subcommand
+        assert main(["--jobs", "1", "verify", str(archive), "--deep"]) == 0
+        assert "passed" in capsys.readouterr().out
+        assert main(["verify", str(archive), "--deep", "-j", "2"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+        # unpack: serial and parallel restores are identical
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        assert main(["unpack", str(archive), str(serial_dir), "--jobs", "1"]) == 0
+        assert main(["--jobs", "3", "unpack", str(archive), str(parallel_dir)]) == 0
+        capsys.readouterr()
+        serial, parallel = read_fieldset(serial_dir), read_fieldset(parallel_dir)
+        for name in serial.names:
+            assert np.array_equal(serial[name].data, parallel[name].data)
+
+    def test_jobs_flag_reaches_pipeline_subcommands(self, tmp_path, capsys):
+        archive = tmp_path / "scenario.xfa"
+        assert main(["run", "climate-small", "-o", str(archive), "--jobs", "1"]) == 0
+        capsys.readouterr()
+        dest = tmp_path / "restored"
+        assert main(["decompress", str(archive), str(dest), "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert sorted(read_fieldset(dest).names) == ["CLDTOT", "FLNT", "FLNTC", "LWCF"]
+
+    def test_chunk_worker_failure_reports_error_not_traceback(
+        self, tmp_path, small_cesm, capsys, monkeypatch
+    ):
+        # a codec crash inside a pool worker surfaces as a contextual CLI
+        # error (exit 2), never an uncaught ChunkTaskError traceback
+        from repro.store.codecs import SZChunkCodec
+
+        def broken_encode(self, chunk, anchors=None):
+            raise ValueError("encode exploded")
+
+        monkeypatch.setattr(SZChunkCodec, "encode", broken_encode)
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT"]), src)
+        assert main(["pack", str(src), str(tmp_path / "x.xfa"), "--chunk", "24,24"]) == 2
+        err = capsys.readouterr().err
+        assert "error: field 'FLNT' chunk 0: encode exploded" in err
+
+    def test_invalid_jobs_reports_error(self, tmp_path, small_cesm, capsys):
+        src = tmp_path / "fieldset"
+        write_fieldset(small_cesm.subset(["FLNT"]), src)
+        archive = tmp_path / "snap.xfa"
+        assert main(["pack", str(src), str(archive)]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(archive), "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
     def test_unpack_preserves_float64_dtype(self, tmp_path, rng, capsys):
         from repro.store import ArchiveWriter
 
