@@ -38,6 +38,7 @@ from repro.core.hybrid import HybridPredictor
 from repro.core.training import TrainingConfig
 from repro.data.fields import FieldSet
 from repro.encoding.container import CompressedBlob
+from repro.encoding.entropy import get_entropy_coder
 from repro.encoding.lossless import get_backend
 from repro.sz.decode import decode_weighted_sequential, decode_weighted_wavefront, weighted_predict_full
 from repro.sz.errors import ErrorBound
@@ -117,6 +118,7 @@ class CrossFieldCompressor:
             raise TypeError("error_bound must be an ErrorBound instance")
         ensure_in(hybrid_method, ("lstsq", "sgd"), "hybrid_method")
         ensure_in(decoder, ("wavefront", "sequential"), "decoder")
+        get_entropy_coder(entropy)  # unknown names raise, listing the registry
         self.error_bound = error_bound
         self.cfnn_config = cfnn_config
         self.training = training if training is not None else TrainingConfig()
@@ -298,12 +300,15 @@ class CrossFieldCompressor:
         payload: bytes,
         anchor_arrays: Sequence[np.ndarray],
         cfnn: Optional[CFNN] = None,
+        scheduler=None,
     ) -> np.ndarray:
         """Decompress a payload produced by :meth:`compress`.
 
         ``anchor_arrays`` must match the arrays used at compression time.  When
         the payload was produced with ``include_model=False`` the same trained
-        :class:`CFNN` must be supplied via ``cfnn``.
+        :class:`CFNN` must be supplied via ``cfnn``.  ``scheduler`` (optional)
+        lets the entropy stage fan its checkpointed sub-blocks out across a
+        :class:`~repro.parallel.engine.ChunkScheduler`.
         """
         blob = CompressedBlob.from_bytes(payload)
         metadata = blob.metadata
@@ -326,7 +331,9 @@ class CrossFieldCompressor:
             if anchor.shape != shape:
                 raise ValueError("anchor arrays must match the compressed field's grid")
 
-        residuals = decode_integer_stream(blob.sections, metadata["stream"]).reshape(shape)
+        residuals = decode_integer_stream(
+            blob.sections, metadata["stream"], scheduler=scheduler
+        ).reshape(shape)
 
         if metadata.get("mode") == "lorenzo-fallback":
             # the compressor determined that the pure local prediction encoded

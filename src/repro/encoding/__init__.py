@@ -2,12 +2,22 @@
 
 Implements the third SZ stage ("customized Huffman coding and additional
 lossless compression"): a bit-level stream writer/reader, a canonical Huffman
-coder with a vectorised encoder, zigzag/RLE integer transforms, pluggable
+coder with vectorised encode *and* decode, a pluggable entropy-coder registry
+(:mod:`repro.encoding.entropy`), zigzag/RLE integer transforms, pluggable
 lossless backends, and the on-disk container format for compressed payloads.
 """
 
 from repro.encoding.bitstream import BitWriter, BitReader
 from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+from repro.encoding.entropy import (
+    EntropyCoder,
+    HuffmanEntropyCoder,
+    ZlibEntropyCoder,
+    RawEntropyCoder,
+    register_entropy_coder,
+    get_entropy_coder,
+    available_entropy_coders,
+)
 from repro.encoding.rle import zigzag_encode, zigzag_decode, rle_encode, rle_decode
 from repro.encoding.lossless import (
     LosslessBackend,
@@ -23,6 +33,13 @@ __all__ = [
     "BitReader",
     "HuffmanCodec",
     "HuffmanTable",
+    "EntropyCoder",
+    "HuffmanEntropyCoder",
+    "ZlibEntropyCoder",
+    "RawEntropyCoder",
+    "register_entropy_coder",
+    "get_entropy_coder",
+    "available_entropy_coders",
     "zigzag_encode",
     "zigzag_decode",
     "rle_encode",

@@ -8,11 +8,29 @@ the regime where Huffman coding shines.  This module implements:
   lookup table),
 - canonical code assignment (so only the code *lengths* need to be stored),
 - a vectorised encoder that packs code words with NumPy bit arithmetic, and
-- a table-driven decoder.
+- a vectorised, checkpointed decoder.
+
+The decoder treats the prefix lookup table as a state machine over bit
+positions: every bit position of the stream is resolved to "the code word
+starting here is ``step`` bits long" in one batch LUT gather, which turns the
+table into a jump table ``position -> position + step``.  The positions that
+actually start code words are then enumerated with pointer doubling (jump
+tables for 1, 2, 4, ... symbols composed with batch gathers), so the whole
+decode is NumPy array operations that release the GIL — no per-symbol Python
+loop.  See ``docs/entropy.md`` for the full walk-through.
+
+Payloads come in two wire formats (both decoded transparently):
+
+- **v1** (legacy): ``<n_symbols:u64><n_bits:u64><bit data>`` — one opaque bit
+  stream that must be decoded front to back.
+- **v2** (default): a ``HFV2`` header that additionally records the bit offset
+  of every ``checkpoint_interval``-th symbol.  Checkpoints split the stream
+  into independently decodable sub-blocks, so one decode call can fan the
+  sub-blocks out across a :class:`~repro.parallel.engine.ChunkScheduler`.
 
 The codec is completely generic: it maps any array of non-negative integers to
 bytes and back, and is reused by both the baseline SZ pipeline and the
-cross-field compressor.
+cross-field compressor (via :mod:`repro.encoding.entropy`).
 """
 
 from __future__ import annotations
@@ -20,16 +38,49 @@ from __future__ import annotations
 import heapq
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.encoding.bitstream import BitReader, BitWriter
-
-__all__ = ["HuffmanTable", "HuffmanCodec"]
+__all__ = [
+    "HuffmanTable",
+    "HuffmanCodec",
+    "MAX_CODE_LENGTH",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+]
 
 #: Maximum code length: keeps the decoder lookup table at 2**16 entries.
 MAX_CODE_LENGTH = 16
+
+#: Symbols per independently decodable v2 sub-block.  Small enough that a
+#: large stream yields hundreds of sub-blocks (the wavefront decoder's batch
+#: width), large enough that the recorded offsets stay ~1% of the payload.
+DEFAULT_CHECKPOINT_INTERVAL = 1024
+
+#: Below this many sub-blocks the wavefront decoder's batch width cannot
+#: amortise its per-step dispatch; pointer doubling wins.
+_WAVEFRONT_MIN_BLOCKS = 32
+
+#: Pointer doubling materialises O(total_bits) temporaries (~16 bytes per
+#: stream bit); streams past this limit that cannot take the O(total_bits/8)
+#: wavefront fall back to the scalar loop, which is slow but O(n_symbols).
+#: 2**25 bits = 4 MB of payload — far beyond any chunk this codebase writes.
+_SPAN_BITS_LIMIT = 1 << 25
+
+#: v2 payload magic.  v1 payloads start with the symbol count (little-endian
+#: u64), so a collision would require a stream of exactly 0x...32564648
+#: symbols — far beyond any payload this codec can produce in practice.
+_MAGIC_V2 = b"HFV2"
+
+#: v2 fixed header: magic, checkpoint interval (u32), n_symbols (u64),
+#: n_bits (u64), checkpoint count (u32); followed by one u32 bit-offset
+#: *delta* per checkpoint (offsets are strictly increasing, and one
+#: sub-block spans at most ``interval * MAX_CODE_LENGTH`` bits, so deltas
+#: always fit), then the bit data.
+_V2_HEADER = struct.Struct("<4sIQQI")
+
+#: Sparse table serialization entry: ``(symbol:u4, length:u1)``, packed.
+_TABLE_ENTRY_DTYPE = np.dtype([("symbol", "<u4"), ("length", "u1")])
 
 
 # --------------------------------------------------------------------------- #
@@ -158,23 +209,29 @@ class HuffmanTable:
     # ------------------------------------------------------------------ #
     def to_bytes(self) -> bytes:
         """Serialize the table as sparse ``(symbol, length)`` pairs."""
-        used = np.nonzero(self.lengths)[0].astype(np.uint32)
-        header = struct.pack("<II", self.alphabet_size, used.size)
-        body = b"".join(
-            struct.pack("<IB", int(sym), int(self.lengths[sym])) for sym in used
-        )
-        return header + body
+        used = np.nonzero(self.lengths)[0]
+        entries = np.empty(used.size, dtype=_TABLE_ENTRY_DTYPE)
+        entries["symbol"] = used
+        entries["length"] = self.lengths[used]
+        return struct.pack("<II", self.alphabet_size, used.size) + entries.tobytes()
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "HuffmanTable":
         """Inverse of :meth:`to_bytes`."""
+        if len(payload) < 8:
+            raise ValueError("truncated Huffman table")
         alphabet_size, n_used = struct.unpack_from("<II", payload, 0)
+        if len(payload) < 8 + n_used * _TABLE_ENTRY_DTYPE.itemsize:
+            raise ValueError("truncated Huffman table")
+        entries = np.frombuffer(payload, dtype=_TABLE_ENTRY_DTYPE, count=n_used, offset=8)
+        symbols = entries["symbol"].astype(np.int64)
+        if symbols.size and int(symbols.max()) >= alphabet_size:
+            raise ValueError(
+                f"Huffman table entry names symbol {int(symbols.max())} outside "
+                f"the declared alphabet of {alphabet_size}"
+            )
         lengths = np.zeros(alphabet_size, dtype=np.uint8)
-        offset = 8
-        for _ in range(n_used):
-            sym, length = struct.unpack_from("<IB", payload, offset)
-            offset += 5
-            lengths[sym] = length
+        lengths[symbols] = entries["length"]
         return cls.from_lengths(lengths)
 
 
@@ -182,21 +239,51 @@ class HuffmanTable:
 # codec
 # --------------------------------------------------------------------------- #
 class HuffmanCodec:
-    """Encode/decode arrays of non-negative integers with canonical Huffman codes."""
+    """Encode/decode arrays of non-negative integers with canonical Huffman codes.
 
-    def __init__(self, max_length: int = MAX_CODE_LENGTH) -> None:
+    Parameters
+    ----------
+    max_length:
+        Length limit for code construction (and the decoder LUT width).
+    checkpoint_interval:
+        Symbols per v2 sub-block; the encoder records one bit-offset
+        checkpoint every ``checkpoint_interval`` symbols.
+    """
+
+    def __init__(
+        self,
+        max_length: int = MAX_CODE_LENGTH,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> None:
         if not 1 <= max_length <= 32:
             raise ValueError("max_length must be in [1, 32]")
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if checkpoint_interval > 1 << 26:
+            # keeps every checkpoint delta below 2**32 (one sub-block spans at
+            # most interval * 32 bits); streams that want no checkpoints at
+            # all should encode with version=1 instead
+            raise ValueError("checkpoint_interval must be <= 2**26")
         self.max_length = max_length
+        self.checkpoint_interval = int(checkpoint_interval)
 
     # ------------------------------------------------------------------ #
     # encoding
     # ------------------------------------------------------------------ #
-    def encode(self, symbols: np.ndarray, table: Optional[HuffmanTable] = None) -> Tuple[bytes, HuffmanTable]:
+    def encode(
+        self,
+        symbols: np.ndarray,
+        table: Optional[HuffmanTable] = None,
+        version: int = 2,
+    ) -> Tuple[bytes, HuffmanTable]:
         """Encode ``symbols`` (non-negative ints); returns ``(payload, table)``.
 
-        The payload layout is ``<n_symbols:uint64><n_bits:uint64><bit data>``.
+        ``version=2`` (the default) emits the checkpointed ``HFV2`` layout;
+        ``version=1`` emits the legacy header-only layout, byte-identical to
+        payloads written before checkpoints existed.
         """
+        if version not in (1, 2):
+            raise ValueError(f"unknown Huffman payload version {version!r}")
         symbols = np.asarray(symbols)
         if symbols.size == 0:
             empty = HuffmanTable(lengths=np.zeros(1, dtype=np.uint8), codes=np.zeros(1, dtype=np.uint32))
@@ -240,18 +327,303 @@ class HuffmanCodec:
             bit_in_byte = 7 - (set_positions % 8)
             np.bitwise_or.at(buffer, byte_index, (1 << bit_in_byte).astype(np.uint8))
 
-        header = struct.pack("<QQ", symbols.size, total_bits)
-        return header + buffer.tobytes(), table
+        if version == 1:
+            header = struct.pack("<QQ", symbols.size, total_bits)
+            return header + buffer.tobytes(), table
+
+        # v2: the bit offset of every checkpoint_interval-th symbol is already
+        # sitting in bit_offsets — recording it costs one strided slice.
+        interval = self.checkpoint_interval
+        checkpoints = bit_offsets[interval::interval]
+        deltas = np.diff(checkpoints, prepend=0).astype("<u4")
+        header = _V2_HEADER.pack(
+            _MAGIC_V2, interval, symbols.size, total_bits, checkpoints.size
+        )
+        return header + deltas.tobytes() + buffer.tobytes(), table
 
     # ------------------------------------------------------------------ #
     # decoding
     # ------------------------------------------------------------------ #
-    def decode(self, payload: bytes, table: HuffmanTable) -> np.ndarray:
-        """Decode a payload produced by :meth:`encode` back to an int64 array."""
-        n_symbols, total_bits = struct.unpack_from("<QQ", payload, 0)
+    def decode(
+        self,
+        payload: bytes,
+        table: HuffmanTable,
+        scheduler=None,
+    ) -> np.ndarray:
+        """Decode a payload produced by :meth:`encode` back to an int64 array.
+
+        Both payload versions are detected from the bytes themselves.  For a
+        v2 payload with more than one checkpointed sub-block, ``scheduler``
+        (a :class:`~repro.parallel.engine.ChunkScheduler` or anything with its
+        ``imap_unordered``) fans the sub-block decodes out across workers;
+        without one the sub-blocks decode sequentially (still vectorised).
+        """
+        n_symbols, total_bits, interval, checkpoints, data = self._parse_payload(payload)
         if n_symbols == 0:
             return np.zeros(0, dtype=np.int64)
-        data = payload[16:]
+        if len(data) * 8 < total_bits:
+            raise ValueError("truncated Huffman payload")
+
+        lut_bits = min(max(table.max_length, 1), self.max_length)
+        lut_symbols, lut_lengths = self._build_lut(table, lut_bits)
+
+        # sub-block bit boundaries (monotonicity is enforced by
+        # _parse_payload: delta-coded checkpoints are strictly increasing)
+        bounds = np.concatenate(([0], checkpoints, [total_bits])).astype(np.int64)
+        # the lockstep wavefront runs only over *full* sub-blocks, so every
+        # cursor retires the same number of symbols; a partial tail block is
+        # decoded separately by the doubling span
+        n_full = n_symbols // interval if checkpoints.size else 0
+
+        if n_full >= _WAVEFRONT_MIN_BLOCKS and total_bits < np.iinfo(np.int32).max:
+            # corrupt cursors may drift past the stream end until the final
+            # boundary check; padding keeps every drifted window in bounds
+            pad = 4 + (interval * lut_bits + 7) // 8
+            fused = self._fuse_bytes(data, total_bits, pad)
+            out = np.empty(n_symbols, dtype=np.int64)
+            out[: n_full * interval] = self._decode_blocks_wavefront(
+                fused, lut_symbols, lut_lengths, bounds, n_full, lut_bits, interval, scheduler
+            )
+            tail = n_symbols - n_full * interval
+            if tail:
+                tail_lo = int(bounds[n_full])
+                windows = self._window_values(fused, tail_lo, total_bits, lut_bits)
+                out[n_full * interval :] = self._decode_span(
+                    lut_lengths[windows], windows, lut_symbols, tail
+                )
+            return out
+
+        if total_bits > _SPAN_BITS_LIMIT:
+            # a giant stream with too few checkpoints for the wavefront (deep
+            # legacy v1 payloads, mostly): bounded memory beats speed
+            return self.decode_reference(payload, table)
+
+        # few blocks: the sub-blocks are contiguous in the bit stream, so the
+        # checkpoints cannot pay for themselves — decode the whole stream as
+        # one span with pointer doubling (still validating the recorded
+        # checkpoints against the code-word positions the span derives)
+        fused = self._fuse_bytes(data, total_bits)
+        windows = self._window_values(fused, 0, total_bits, lut_bits)
+        return self._decode_span(
+            lut_lengths[windows], windows, lut_symbols, n_symbols,
+            interval=interval, checkpoints=checkpoints,
+        )
+
+    def _decode_blocks_wavefront(
+        self,
+        fused: np.ndarray,
+        lut_symbols: np.ndarray,
+        lut_lengths: np.ndarray,
+        bounds: np.ndarray,
+        n_full: int,
+        lut_bits: int,
+        interval: int,
+        scheduler,
+    ) -> np.ndarray:
+        """Decode the full checkpointed sub-blocks in lockstep (optionally fanned out).
+
+        Contiguous runs of sub-blocks form groups; each group is one wavefront
+        (see :meth:`_decode_wavefront`).  With a scheduler, groups are sized to
+        its worker count and submitted through ``imap_unordered`` — each group
+        decode is NumPy batch work that releases the GIL, so groups genuinely
+        overlap on a thread backend.
+        """
+        n_groups = 1
+        if scheduler is not None:
+            jobs = int(getattr(scheduler, "effective_jobs", 1) or 1)
+            n_groups = max(1, min(jobs, n_full // _WAVEFRONT_MIN_BLOCKS))
+
+        def decode_group(span: Tuple[int, int]) -> np.ndarray:
+            lo, hi = span
+            return self._decode_wavefront(
+                fused, lut_symbols, lut_lengths, bounds[lo:hi], bounds[lo + 1 : hi + 1],
+                lut_bits, interval,
+            )
+
+        if n_groups == 1:
+            return decode_group((0, n_full))
+        edges = np.linspace(0, n_full, n_groups + 1).astype(int)
+        spans = [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
+        out = np.empty(n_full * interval, dtype=np.int64)
+        for index, decoded in scheduler.imap_unordered(decode_group, spans):
+            sym_start = spans[index][0] * interval
+            out[sym_start : sym_start + decoded.size] = decoded
+        return out
+
+    # ------------------------------------------------------------------ #
+    # decode internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_payload(payload: bytes):
+        """Split either payload version into its decode inputs.
+
+        Returns ``(n_symbols, total_bits, interval, checkpoints, bit_data)``;
+        v1 payloads come back with an empty checkpoint list and an interval
+        covering the whole stream.
+        """
+        if payload[:4] == _MAGIC_V2:
+            if len(payload) < _V2_HEADER.size:
+                raise ValueError("truncated Huffman payload")
+            _, interval, n_symbols, total_bits, n_checkpoints = _V2_HEADER.unpack_from(
+                payload, 0
+            )
+            if interval < 1:
+                raise ValueError("corrupt Huffman payload: checkpoint interval < 1")
+            expected = (n_symbols - 1) // interval if n_symbols else 0
+            if n_checkpoints != expected:
+                raise ValueError(
+                    f"corrupt Huffman payload: {n_checkpoints} checkpoints recorded, "
+                    f"{expected} expected for {n_symbols} symbols every {interval}"
+                )
+            offset = _V2_HEADER.size
+            end = offset + 4 * n_checkpoints
+            if len(payload) < end:
+                raise ValueError("truncated Huffman payload")
+            deltas = np.frombuffer(payload, dtype="<u4", count=n_checkpoints, offset=offset)
+            if n_checkpoints and int(deltas.min()) == 0:
+                raise ValueError("corrupt Huffman payload: checkpoints not increasing")
+            checkpoints = np.cumsum(deltas.astype(np.int64))
+            if n_checkpoints and int(checkpoints[-1]) >= total_bits:
+                raise ValueError("corrupt Huffman payload: checkpoint past the end of the stream")
+            return n_symbols, total_bits, interval, checkpoints, payload[end:]
+        if len(payload) < 16:
+            raise ValueError("truncated Huffman payload")
+        n_symbols, total_bits = struct.unpack_from("<QQ", payload, 0)
+        return n_symbols, total_bits, max(n_symbols, 1), np.zeros(0, np.int64), payload[16:]
+
+    @staticmethod
+    def _fuse_bytes(data: bytes, total_bits: int, pad_bytes: int = 4) -> np.ndarray:
+        """Fuse four staggered byte lanes into one u32 per byte position.
+
+        ``fused[b]`` holds bits ``8b .. 8b+31`` of the stream MSB-first, so any
+        ``lut_bits <= 16``-wide window at bit ``p`` is a shift of
+        ``fused[p // 8]``.  Padding zeros beyond the stream match the scalar
+        reference decoder's behaviour at the tail; ``pad_bytes`` sizes the
+        zero tail (the wavefront decoder asks for enough that even a corrupt,
+        drifting cursor stays in bounds until it is caught).
+        """
+        raw = np.frombuffer(data, dtype=np.uint8)
+        n_bytes = (total_bits + 7) // 8
+        padded = np.zeros(n_bytes + max(pad_bytes, 4), dtype=np.uint8)
+        padded[:n_bytes] = raw[:n_bytes]
+        lanes = padded.astype(np.uint32)
+        return (
+            (lanes[:-3] << np.uint32(24))
+            | (lanes[1:-2] << np.uint32(16))
+            | (lanes[2:-1] << np.uint32(8))
+            | lanes[3:]
+        )
+
+    @staticmethod
+    def _window_values(fused: np.ndarray, start: int, stop: int, lut_bits: int) -> np.ndarray:
+        """``lut_bits``-wide bit windows at every bit position in ``[start, stop)``."""
+        positions = np.arange(start, stop, dtype=np.int64)
+        shifts = (np.uint32(32 - lut_bits) - (positions & 7).astype(np.uint32)).astype(np.uint32)
+        mask = np.uint32((1 << lut_bits) - 1)
+        return ((fused[positions >> 3] >> shifts) & mask).astype(np.int32)
+
+    @staticmethod
+    def _decode_wavefront(
+        fused: np.ndarray,
+        lut_symbols: np.ndarray,
+        lut_lengths: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        lut_bits: int,
+        interval: int,
+    ) -> np.ndarray:
+        """Decode a contiguous run of *full* checkpointed sub-blocks in lockstep.
+
+        One decode cursor per sub-block advances through the LUT state machine
+        simultaneously: each round gathers every cursor's bit window, emits
+        every cursor's symbol, and steps every cursor by its code length — a
+        handful of batch operations per *symbol index*, not per symbol.  The
+        checkpoint interval bounds the round count while the number of
+        sub-blocks provides the batch width.
+
+        The loop body carries no bounds checks: a corrupt cursor drifts at
+        most ``interval * lut_bits`` bits past the stream (the caller pads
+        ``fused`` accordingly) and is caught afterwards, when every cursor
+        must sit exactly on its sub-block's recorded end bit.
+        """
+        shift_lut = np.uint32(32 - lut_bits) - np.arange(8, dtype=np.uint32)
+        mask = np.uint32((1 << lut_bits) - 1)
+        lengths32 = lut_lengths.astype(np.int32)
+        cur = starts.astype(np.int32)
+        out = np.empty((interval, starts.size), dtype=np.int64)
+        for i in range(interval):
+            window = (fused[cur >> 3] >> shift_lut[cur & 7]) & mask
+            out[i] = lut_symbols[window]
+            cur = cur + lengths32[window]
+        if not np.array_equal(cur, stops.astype(np.int32)):
+            raise ValueError("corrupt Huffman stream")
+        return out.T.ravel()
+
+    @staticmethod
+    def _decode_span(
+        step: np.ndarray,
+        windows: np.ndarray,
+        lut_symbols: np.ndarray,
+        n_symbols: int,
+        interval: Optional[int] = None,
+        checkpoints: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Decode one contiguous span of ``n_symbols`` code words.
+
+        ``step``/``windows`` cover exactly the span's bit range.  The jump
+        table ``p -> p + step[p]`` is iterated from bit 0 with pointer
+        doubling: the jump table for ``m`` symbols is composed with itself to
+        get ``2m``, and each round resolves the positions of ``m`` further
+        symbols with a single batch gather.
+
+        ``checkpoints`` (span-relative bit offsets of every ``interval``-th
+        symbol, when the payload recorded any) are cross-checked against the
+        derived code-word positions, so a corrupted checkpoint list fails
+        loudly even on the span path that does not need it.
+        """
+        n_bits = step.shape[0]
+        index_dtype = np.int32 if n_bits < np.iinfo(np.int32).max else np.int64
+        jump = np.arange(n_bits, dtype=index_dtype)
+        jump += step.astype(index_dtype)
+        # dead positions (no code word starts here) and overruns both land on
+        # the sentinel slot n_bits, which maps to itself
+        jump[step == 0] = n_bits
+        np.minimum(jump, n_bits, out=jump)
+        jump = np.append(jump, index_dtype(n_bits))
+
+        positions = np.empty(n_symbols, dtype=index_dtype)
+        positions[0] = 0
+        filled = 1
+        while filled < n_symbols:
+            take = min(filled, n_symbols - filled)
+            positions[filled : filled + take] = jump[positions[:take]]
+            filled += take
+            if filled < n_symbols:
+                jump = jump[jump]
+
+        if int(positions[-1]) >= n_bits:
+            raise ValueError("corrupt Huffman stream")
+        lengths_at = step[positions]
+        if np.any(lengths_at == 0):
+            raise ValueError("corrupt Huffman stream")
+        if int(positions[-1]) + int(lengths_at[-1]) != n_bits:
+            raise ValueError("corrupt Huffman stream")
+        if checkpoints is not None and checkpoints.size:
+            derived = positions[interval::interval][: checkpoints.size].astype(np.int64)
+            if not np.array_equal(derived, checkpoints):
+                raise ValueError("corrupt Huffman payload: checkpoints do not match the stream")
+        return lut_symbols[windows[positions]]
+
+    def decode_reference(self, payload: bytes, table: HuffmanTable) -> np.ndarray:
+        """Scalar per-symbol decode: the pre-vectorisation reference loop.
+
+        Kept as the correctness oracle for the vectorised decoder (property
+        tests compare against it) and as the baseline in the entropy-backend
+        decode-throughput benchmark.  Handles both payload versions.
+        """
+        n_symbols, total_bits, _, _, data = self._parse_payload(payload)
+        if n_symbols == 0:
+            return np.zeros(0, dtype=np.int64)
         if len(data) * 8 < total_bits:
             raise ValueError("truncated Huffman payload")
 
@@ -289,7 +661,7 @@ class HuffmanCodec:
         """Build a prefix lookup table mapping every ``lut_bits`` window to (symbol, length)."""
         size = 1 << lut_bits
         lut_symbols = np.zeros(size, dtype=np.int64)
-        lut_lengths = np.zeros(size, dtype=np.int64)
+        lut_lengths = np.zeros(size, dtype=np.int32)
         for sym in np.nonzero(table.lengths)[0]:
             length = int(table.lengths[sym])
             if length > lut_bits:  # pragma: no cover - prevented by length limiting

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.encoding.entropy import get_entropy_coder
 from repro.store.codecs import codec_class
 from repro.sz.errors import ErrorBound
 
@@ -321,6 +322,13 @@ class PipelineConfig:
                     f"{context}: codec_params must not set {reserved}; use the "
                     "dedicated rule key(s) instead"
                 )
+            if "entropy" in rule.codec_params:
+                # entropy modes come from the pluggable coder registry, so a
+                # typo fails here — at validation time — not mid-compression
+                try:
+                    get_entropy_coder(rule.codec_params["entropy"])
+                except (TypeError, ValueError) as exc:
+                    raise PipelineConfigError(f"{context}: {exc}") from exc
             try:
                 json.dumps(rule.codec_params, sort_keys=True)
             except TypeError as exc:

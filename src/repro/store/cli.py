@@ -129,6 +129,24 @@ def _load_source_fieldset(source: str, shape: Optional[str], seed: Optional[int]
     )
 
 
+def _check_entropy(entropy: str, codec: str) -> str:
+    """Validate ``--entropy`` against the coder registry and the chosen codec."""
+    import inspect
+
+    from repro.encoding.entropy import get_entropy_coder
+    from repro.store.codecs import codec_class
+
+    get_entropy_coder(entropy)  # unknown names raise, listing the registry
+    parameters = inspect.signature(codec_class(codec).__init__).parameters
+    if "entropy" not in parameters and not any(
+        p.kind is p.VAR_KEYWORD for p in parameters.values()
+    ):
+        raise ArchiveError(
+            f"--entropy does not apply to codec {codec!r} (it has no entropy stage)"
+        )
+    return entropy
+
+
 def _human_bytes(n: float) -> str:
     for unit in ("B", "KB", "MB", "GB"):
         if abs(n) < 1024.0 or unit == "GB":
@@ -144,6 +162,9 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.store.writer import ArchiveWriter
     from repro.sz.errors import ErrorBound
 
+    codec_params = {}
+    if args.entropy is not None:
+        codec_params["entropy"] = _check_entropy(args.entropy, args.codec)
     fieldset = _load_source_fieldset(args.source, args.shape, args.seed)
     if args.fields:
         fieldset = fieldset.subset([f.strip() for f in args.fields.split(",")])
@@ -161,7 +182,7 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         max_workers=args.workers if args.workers is not None else args.jobs,
         attrs={"source": str(args.source), "dataset": fieldset.name},
     ) as writer:
-        entries = writer.add_fieldset(fieldset, cross_field=cross_field)
+        entries = writer.add_fieldset(fieldset, cross_field=cross_field, **codec_params)
     total_in = sum(e.original_nbytes for e in entries.values())
     total_out = sum(e.compressed_nbytes for e in entries.values())
     ratio = total_in / total_out if total_out else float("inf")
@@ -347,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("source", help="fieldset directory or synthetic dataset name (cesm/scale/hurricane)")
     pack.add_argument("archive", help="output archive path")
     pack.add_argument("--codec", default="sz", help="default codec for all fields (default: sz)")
+    pack.add_argument(
+        "--entropy",
+        help="entropy coder for codecs with an entropy stage "
+        "(registered: huffman, zlib, raw; default: the codec's default)",
+    )
     pack.add_argument("--error-bound", type=float, default=1e-3, help="error bound value (default: 1e-3)")
     pack.add_argument("--mode", choices=("rel", "abs"), default="rel", help="error bound mode (default: rel)")
     pack.add_argument("--chunk", help="chunk shape, comma separated (default: 64 per axis)")

@@ -75,8 +75,21 @@ class Codec(ABC):
         """Compress one chunk into opaque bytes."""
 
     @abstractmethod
-    def decode(self, payload: bytes, anchors: Optional[Sequence[np.ndarray]] = None) -> np.ndarray:
-        """Inverse of :meth:`encode`."""
+    def decode(
+        self,
+        payload: bytes,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ) -> np.ndarray:
+        """Inverse of :meth:`encode`.
+
+        ``scheduler`` is an optional :class:`~repro.parallel.engine.ChunkScheduler`
+        for codecs whose decode can parallelise *within* one chunk (the
+        SZ-family entropy stage fans checkpointed Huffman sub-blocks out).
+        Callers only pass one when no outer chunk-level parallelism is active
+        (a single-chunk region read), so codecs may submit to it freely;
+        codecs without intra-chunk parallelism ignore it.
+        """
 
     @abstractmethod
     def params(self) -> Dict:
@@ -114,8 +127,13 @@ class SZChunkCodec(Codec):
     def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
         return self._compressor.compress(chunk).payload
 
-    def decode(self, payload: bytes, anchors: Optional[Sequence[np.ndarray]] = None) -> np.ndarray:
-        return self._compressor.decompress(payload)
+    def decode(
+        self,
+        payload: bytes,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ) -> np.ndarray:
+        return self._compressor.decompress(payload, scheduler=scheduler)
 
     def params(self) -> Dict:
         return {
@@ -155,8 +173,13 @@ class ZFPChunkCodec(Codec):
     def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
         return self._compressor.compress(chunk).payload
 
-    def decode(self, payload: bytes, anchors: Optional[Sequence[np.ndarray]] = None) -> np.ndarray:
-        return self._compressor.decompress(payload)
+    def decode(
+        self,
+        payload: bytes,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ) -> np.ndarray:
+        return self._compressor.decompress(payload, scheduler=scheduler)
 
     def params(self) -> Dict:
         return {
@@ -217,8 +240,15 @@ class CrossFieldChunkCodec(Codec):
     def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
         return self._compressor.compress(chunk, self._check_anchors(anchors)).payload
 
-    def decode(self, payload: bytes, anchors: Optional[Sequence[np.ndarray]] = None) -> np.ndarray:
-        return self._compressor.decompress(payload, self._check_anchors(anchors))
+    def decode(
+        self,
+        payload: bytes,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ) -> np.ndarray:
+        return self._compressor.decompress(
+            payload, self._check_anchors(anchors), scheduler=scheduler
+        )
 
     def params(self) -> Dict:
         return {
@@ -261,7 +291,12 @@ class LosslessChunkCodec(Codec):
         blob.add_section("data", self._backend.compress(chunk.tobytes()))
         return blob.to_bytes()
 
-    def decode(self, payload: bytes, anchors: Optional[Sequence[np.ndarray]] = None) -> np.ndarray:
+    def decode(
+        self,
+        payload: bytes,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ) -> np.ndarray:
         blob = CompressedBlob.from_bytes(payload)
         metadata = blob.metadata
         if metadata.get("format") != self.format_name:

@@ -21,6 +21,7 @@ decode see bit-identical anchor data.
 
 from __future__ import annotations
 
+import inspect
 import os
 import threading
 import zlib
@@ -89,6 +90,30 @@ class ChunkFetcher:
                 self._codecs[entry.name] = get_codec(entry.codec, **entry.codec_params)
             return self._codecs[entry.name]
 
+    def _decode_with(self, codec: Codec, payload: bytes, anchors, scheduler) -> np.ndarray:
+        """Call ``codec.decode``, passing ``scheduler`` only where supported.
+
+        Codecs written against the pre-scheduler two-argument ``decode``
+        signature (registered externally per the documented extension point)
+        must keep working; the capability probe is cached per codec instance.
+        """
+        if scheduler is not None and self._takes_scheduler(codec):
+            return codec.decode(payload, anchors=anchors, scheduler=scheduler)
+        return codec.decode(payload, anchors=anchors)
+
+    def _takes_scheduler(self, codec: Codec) -> bool:
+        cached = getattr(codec, "_decode_takes_scheduler", None)
+        if cached is None:
+            try:
+                parameters = inspect.signature(codec.decode).parameters
+                cached = "scheduler" in parameters or any(
+                    p.kind is p.VAR_KEYWORD for p in parameters.values()
+                )
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                cached = False
+            codec._decode_takes_scheduler = cached
+        return cached
+
     def read_payload(self, entry: FieldEntry, chunk: ChunkEntry) -> bytes:
         """Read one chunk's raw payload and verify its CRC."""
         with self.io_lock:
@@ -111,16 +136,21 @@ class ChunkFetcher:
         name: str,
         index: int,
         refresh: bool = False,
+        scheduler: Optional[ChunkScheduler] = None,
         _fresh: Optional[set] = None,
     ) -> np.ndarray:
         """Return the decompressed chunk ``index`` of field ``name`` (cached).
 
         ``refresh=True`` bypasses the cache lookup and forces a fresh disk
         read + CRC check + decode (used by deep verification); the result
-        still replaces the cache entry.  ``_fresh`` is deep verification's
-        per-pass memo: chunks it already re-decoded in this pass may be served
-        from cache again (each chunk is verified exactly once per pass even
-        when several cross-field targets share it as an anchor).
+        still replaces the cache entry.  ``scheduler`` is handed to the codec
+        so a decode can parallelise *within* the chunk (checkpointed Huffman
+        sub-blocks); callers must only pass one when the calling thread is not
+        itself a worker of that scheduler's pool.  ``_fresh`` is deep
+        verification's per-pass memo: chunks it already re-decoded in this
+        pass may be served from cache again (each chunk is verified exactly
+        once per pass even when several cross-field targets share it as an
+        anchor).
         """
         key = (name, int(index))
         if refresh and _fresh is not None and key in _fresh:
@@ -152,10 +182,10 @@ class ChunkFetcher:
             # against stale cached anchors (the memo keeps that one-decode-
             # per-chunk within a single pass)
             anchors = [
-                self.get_chunk(anchor, index, refresh=refresh, _fresh=_fresh)
+                self.get_chunk(anchor, index, refresh=refresh, scheduler=scheduler, _fresh=_fresh)
                 for anchor in entry.anchors
             ]
-        decoded = self.codec_for(entry).decode(payload, anchors=anchors)
+        decoded = self._decode_with(self.codec_for(entry), payload, anchors, scheduler)
         expected_dtype = np.dtype(entry.dtype)
         if decoded.shape != chunk.shape:
             raise ArchiveCorruptionError(
@@ -317,10 +347,17 @@ class ArchiveReader:
         out = np.empty(out_shape, dtype=np.dtype(entry.dtype))
         indices = chunks_intersecting_region(entry.shape, entry.chunk_shape, sls)
 
+        # A single-chunk read has no chunk-level parallelism to exploit, so
+        # hand the reader's scheduler *into* the decode instead: the codec can
+        # fan checkpointed entropy sub-blocks out across the same pool.  Safe
+        # precisely because the one-task case below runs in the calling
+        # thread, never inside one of the scheduler's own workers.
+        intra = self._scheduler if len(indices) == 1 else None
+
         def fetch(index: int) -> Tuple[int, np.ndarray]:
             # get_chunk first: it bounds-checks `index` against the (possibly
             # malformed) manifest chunk list before we index into it
-            return index, self._fetcher.get_chunk(name, index)
+            return index, self._fetcher.get_chunk(name, index, scheduler=intra)
 
         # Unordered collection: each worker does one seek+read under io_lock
         # and decodes outside every lock; the main thread writes each decoded

@@ -368,12 +368,17 @@ class ArchiveWriter:
         error_bound: Optional[ErrorBound] = None,
         chunk_shape: Optional[Sequence[int]] = None,
         cross_field: Optional[Dict[str, Sequence[str]]] = None,
+        **codec_params,
     ) -> Dict[str, FieldEntry]:
         """Add every field of a :class:`~repro.data.fields.FieldSet`.
 
         ``cross_field`` maps target field names to anchor-name sequences; the
         targets are written *after* all other fields (anchors must exist
         first) with the cross-field codec, everything else uses ``codec``.
+        Extra keyword arguments (an ``entropy`` mode from the
+        :mod:`repro.encoding.entropy` registry, a ``backend`` name, ...) are
+        forwarded to every field's codec constructor, exactly as
+        :meth:`add_field` forwards its own.
         """
         cross_field = dict(cross_field or {})
         for target, target_anchors in cross_field.items():
@@ -392,7 +397,12 @@ class ArchiveWriter:
             if field.name in cross_field:
                 continue
             entries[field.name] = self.add_field(
-                field.name, field.data, codec=codec, error_bound=error_bound, chunk_shape=chunk_shape
+                field.name,
+                field.data,
+                codec=codec,
+                error_bound=error_bound,
+                chunk_shape=chunk_shape,
+                **codec_params,
             )
         for target, target_anchors in cross_field.items():
             entries[target] = self.add_field(
@@ -402,5 +412,6 @@ class ArchiveWriter:
                 error_bound=error_bound,
                 chunk_shape=chunk_shape,
                 anchors=tuple(target_anchors),
+                **codec_params,
             )
         return entries

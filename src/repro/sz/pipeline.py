@@ -23,7 +23,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.encoding.container import CompressedBlob
-from repro.encoding.huffman import HuffmanCodec, HuffmanTable
+from repro.encoding.entropy import get_entropy_coder
 from repro.encoding.lossless import get_backend
 from repro.encoding.rle import zigzag_decode, zigzag_encode
 from repro.sz.errors import ErrorBound
@@ -49,11 +49,6 @@ __all__ = [
 ]
 
 _PREDICTORS = ("lorenzo", "regression", "interpolation")
-_ENTROPY_MODES = ("huffman", "zlib", "raw")
-
-#: If more distinct symbols than this appear, Huffman falls back to byte coding
-#: (keeps the decoder lookup table and the length-limited code construction sane).
-_HUFFMAN_SYMBOL_LIMIT = 32768
 
 
 # --------------------------------------------------------------------------- #
@@ -108,11 +103,14 @@ def encode_integer_stream(
     """Entropy-code an integer residual array into named byte sections.
 
     Residuals with magnitude ``>= radius`` are replaced by an escape symbol and
-    stored verbatim in side sections (SZ's "unpredictable data").  Returns the
-    sections plus the metadata the decoder needs (entropy mode actually used,
-    escape symbol, element count).
+    stored verbatim in side sections (SZ's "unpredictable data").  The symbol
+    stream itself goes through the :mod:`repro.encoding.entropy` registry —
+    ``entropy`` names any registered coder, and a coder that rejects the
+    stream (Huffman on a huge alphabet) is swapped for its declared fallback.
+    Returns the sections plus the metadata the decoder needs (entropy mode
+    actually used, escape symbol, element count).
     """
-    ensure_in(entropy, _ENTROPY_MODES, "entropy")
+    coder = get_entropy_coder(entropy)
     backend = get_backend(backend_name)
     residuals = np.asarray(residuals, dtype=np.int64).ravel()
     n = residuals.size
@@ -125,27 +123,20 @@ def encode_integer_stream(
     symbols = zigzag_encode(np.where(outlier_mask, 0, residuals))
     symbols[outlier_mask] = escape_symbol
 
-    entropy_used = entropy
-    if entropy == "huffman" and np.unique(symbols).size > _HUFFMAN_SYMBOL_LIMIT:
-        entropy_used = "zlib"
+    if not coder.supports(symbols) and coder.fallback is not None:
+        coder = get_entropy_coder(coder.fallback)
 
-    sections: Dict[str, bytes] = {}
-    if entropy_used == "huffman":
-        codec = HuffmanCodec()
-        payload, table = codec.encode(symbols)
-        sections[f"{prefix}.symbols"] = backend.compress(payload)
-        sections[f"{prefix}.huffman_table"] = backend.compress(table.to_bytes())
-    elif entropy_used == "zlib":
-        sections[f"{prefix}.symbols"] = backend.compress(symbols.astype(np.int32).tobytes())
-    else:  # raw
-        sections[f"{prefix}.symbols"] = symbols.astype(np.int32).tobytes()
+    coder_sections, coder_meta = coder.encode(symbols, backend)
+    sections: Dict[str, bytes] = {
+        f"{prefix}.{key}": value for key, value in coder_sections.items()
+    }
 
     if outlier_positions.size:
         sections[f"{prefix}.outlier_positions"] = backend.compress(outlier_positions.tobytes())
         sections[f"{prefix}.outlier_values"] = backend.compress(outlier_values.tobytes())
 
     meta = {
-        "entropy": entropy_used,
+        "entropy": coder.name,
         "backend": backend.name,
         "radius": int(radius),
         "escape_symbol": int(escape_symbol),
@@ -153,26 +144,35 @@ def encode_integer_stream(
         "outliers": int(outlier_positions.size),
         "prefix": prefix,
     }
+    meta.update(coder_meta)
     return sections, meta
 
 
-def decode_integer_stream(sections: Dict[str, bytes], meta: Dict) -> np.ndarray:
-    """Inverse of :func:`encode_integer_stream`: reconstruct the residual array (1D)."""
+def decode_integer_stream(
+    sections: Dict[str, bytes], meta: Dict, scheduler=None
+) -> np.ndarray:
+    """Inverse of :func:`encode_integer_stream`: reconstruct the residual array (1D).
+
+    ``scheduler`` is forwarded to the entropy coder so coders with an
+    internally parallel decode (checkpointed Huffman) can fan sub-blocks out;
+    it is optional and purely a performance knob.
+    """
     backend = get_backend(meta["backend"])
     prefix = meta.get("prefix", "residual")
-    entropy_used = meta["entropy"]
+    coder = get_entropy_coder(meta["entropy"])
     n = int(meta["count"])
     escape_symbol = int(meta["escape_symbol"])
 
-    raw = sections[f"{prefix}.symbols"]
-    if entropy_used == "huffman":
-        payload = backend.decompress(raw)
-        table = HuffmanTable.from_bytes(backend.decompress(sections[f"{prefix}.huffman_table"]))
-        symbols = HuffmanCodec().decode(payload, table)
-    elif entropy_used == "zlib":
-        symbols = np.frombuffer(backend.decompress(raw), dtype=np.int32).astype(np.int64)
-    else:
-        symbols = np.frombuffer(raw, dtype=np.int32).astype(np.int64)
+    # hand the coder exactly the sections it produced: the outlier side
+    # sections share the prefix but belong to this function, not the coder
+    marker = f"{prefix}."
+    own = {f"{prefix}.outlier_positions", f"{prefix}.outlier_values"}
+    coder_sections = {
+        key[len(marker):]: value
+        for key, value in sections.items()
+        if key.startswith(marker) and key not in own
+    }
+    symbols = coder.decode(coder_sections, meta, backend, scheduler=scheduler)
     if symbols.size != n:
         raise ValueError(f"decoded {symbols.size} symbols, expected {n}")
 
@@ -207,7 +207,8 @@ class SZCompressor:
         ``"lorenzo"`` (default, the baseline configuration in the paper),
         ``"regression"`` or ``"interpolation"``.
     entropy:
-        ``"huffman"`` (default), ``"zlib"`` or ``"raw"``.
+        Any :mod:`repro.encoding.entropy` registry name — ``"huffman"``
+        (default), ``"zlib"`` or ``"raw"`` out of the box.
     backend:
         Lossless byte backend applied after entropy coding (``"zlib"``/``"raw"``).
     quant_radius:
@@ -239,7 +240,7 @@ class SZCompressor:
         if not isinstance(error_bound, ErrorBound):
             raise TypeError("error_bound must be an ErrorBound instance")
         ensure_in(predictor, _PREDICTORS, "predictor")
-        ensure_in(entropy, _ENTROPY_MODES, "entropy")
+        get_entropy_coder(entropy)  # unknown names raise, listing the registry
         self.error_bound = error_bound
         self.predictor = predictor
         self.entropy = entropy
@@ -318,8 +319,12 @@ class SZCompressor:
     # ------------------------------------------------------------------ #
     # decompression
     # ------------------------------------------------------------------ #
-    def decompress(self, payload: bytes) -> np.ndarray:
-        """Decompress a payload produced by :meth:`compress`."""
+    def decompress(self, payload: bytes, scheduler=None) -> np.ndarray:
+        """Decompress a payload produced by :meth:`compress`.
+
+        ``scheduler`` (optional) lets the entropy stage fan its checkpointed
+        sub-blocks out across a :class:`~repro.parallel.engine.ChunkScheduler`.
+        """
         blob = CompressedBlob.from_bytes(payload)
         metadata = blob.metadata
         if metadata.get("format") != self.format_name:
@@ -331,7 +336,9 @@ class SZCompressor:
         abs_eb = float(metadata["abs_error_bound"])
         predictor = metadata["predictor"]
 
-        residuals = decode_integer_stream(blob.sections, metadata["stream"]).reshape(shape)
+        residuals = decode_integer_stream(
+            blob.sections, metadata["stream"], scheduler=scheduler
+        ).reshape(shape)
 
         if predictor == "lorenzo":
             codes = lorenzo_inverse(residuals)

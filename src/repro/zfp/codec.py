@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.data.slicing import iter_blocks
 from repro.encoding.container import CompressedBlob
+from repro.encoding.entropy import get_entropy_coder
 from repro.sz.errors import ErrorBound
 from repro.sz.pipeline import CompressionResult, decode_integer_stream, encode_integer_stream
 from repro.sz.quantizer import QUANT_RADIUS_DEFAULT, effective_error_bound
@@ -48,6 +49,7 @@ class ZFPLikeCompressor:
             raise TypeError("error_bound must be an ErrorBound instance")
         if block_size < 2:
             raise ValueError("block_size must be at least 2")
+        get_entropy_coder(entropy)  # unknown names raise, listing the registry
         self.error_bound = error_bound
         self.block_size = int(block_size)
         self.entropy = entropy
@@ -108,8 +110,12 @@ class ZFPLikeCompressor:
             metadata=metadata,
         )
 
-    def decompress(self, payload: bytes) -> np.ndarray:
-        """Decompress a payload produced by :meth:`compress`."""
+    def decompress(self, payload: bytes, scheduler=None) -> np.ndarray:
+        """Decompress a payload produced by :meth:`compress`.
+
+        ``scheduler`` (optional) lets the entropy stage fan its checkpointed
+        sub-blocks out across a :class:`~repro.parallel.engine.ChunkScheduler`.
+        """
         blob = CompressedBlob.from_bytes(payload)
         metadata = blob.metadata
         if metadata.get("format") != self.format_name:
@@ -122,7 +128,9 @@ class ZFPLikeCompressor:
         block_size = int(metadata["block_size"])
         block_shape = tuple(block_size for _ in range(len(shape)))
 
-        coefficients = decode_integer_stream(blob.sections, metadata["stream"]).reshape(shape)
+        coefficients = decode_integer_stream(
+            blob.sections, metadata["stream"], scheduler=scheduler
+        ).reshape(shape)
         out = np.empty(shape, dtype=np.float64)
         for slices in iter_blocks(shape, block_shape):
             block_coeff = coefficients[slices].astype(np.float64) * step

@@ -45,6 +45,44 @@ class TestHuffmanTable:
         assert np.array_equal(rebuilt.lengths, table.lengths)
         assert np.array_equal(rebuilt.codes, table.codes)
 
+    def test_serialization_wire_format_is_packed_struct_pairs(self):
+        # the vectorised serializer must stay byte-identical to the original
+        # per-symbol struct loop: <II> header then packed <IB> pairs
+        import struct
+
+        freq = np.array([7, 3, 0, 11, 2, 0, 0, 9])
+        table = HuffmanTable.from_frequencies(freq)
+        used = np.nonzero(table.lengths)[0]
+        reference = struct.pack("<II", table.alphabet_size, used.size) + b"".join(
+            struct.pack("<IB", int(sym), int(table.lengths[sym])) for sym in used
+        )
+        assert table.to_bytes() == reference
+
+    def test_serialization_truncated_rejected(self):
+        table = HuffmanTable.from_frequencies(np.array([4, 4, 2]))
+        payload = table.to_bytes()
+        with pytest.raises(ValueError, match="truncated"):
+            HuffmanTable.from_bytes(payload[:6])
+        with pytest.raises(ValueError, match="truncated"):
+            HuffmanTable.from_bytes(payload[:-3])
+
+    def test_serialization_symbol_outside_alphabet_rejected(self):
+        import struct
+
+        payload = struct.pack("<II", 2, 1) + struct.pack("<IB", 9, 1)
+        with pytest.raises(ValueError, match="alphabet"):
+            HuffmanTable.from_bytes(payload)
+
+    def test_serialization_large_table_roundtrip(self):
+        rng = np.random.default_rng(5)
+        freq = rng.integers(0, 50, size=4000)
+        freq[rng.integers(0, 4000, size=100)] = 0
+        freq[0] = 1  # at least one used symbol
+        table = HuffmanTable.from_frequencies(freq)
+        rebuilt = HuffmanTable.from_bytes(table.to_bytes())
+        assert np.array_equal(rebuilt.lengths, table.lengths)
+        assert np.array_equal(rebuilt.codes, table.codes)
+
     def test_expected_bits(self):
         freq = np.array([4, 4])
         table = HuffmanTable.from_frequencies(freq)
@@ -110,3 +148,16 @@ class TestHuffmanCodec:
         codec = HuffmanCodec()
         payload, table = codec.encode(symbols)
         assert np.array_equal(codec.decode(payload, table), symbols)
+
+    def test_vectorised_decode_matches_reference(self):
+        rng = np.random.default_rng(9)
+        codec = HuffmanCodec(checkpoint_interval=128)
+        for symbols in (
+            rng.poisson(1.0, size=10000),
+            rng.integers(0, 1000, size=8000),
+            np.zeros(500, dtype=np.int64),
+        ):
+            payload, table = codec.encode(symbols)
+            assert np.array_equal(
+                codec.decode(payload, table), codec.decode_reference(payload, table)
+            )

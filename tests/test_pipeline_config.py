@@ -88,6 +88,17 @@ class TestValidationErrors:
         with pytest.raises(PipelineConfigError, match="unknown codec"):
             config.validate()
 
+    def test_unknown_entropy_in_codec_params(self):
+        # entropy names are validated against the pluggable coder registry,
+        # not a hard-coded tuple: a typo fails at validate() time
+        config = PipelineConfig(fields={"A": FieldRule(codec_params={"entropy": "lzma"})})
+        with pytest.raises(PipelineConfigError, match="unknown entropy coder"):
+            config.validate()
+
+    def test_registered_entropy_in_codec_params_accepted(self):
+        for entropy in ("huffman", "zlib", "raw"):
+            PipelineConfig(fields={"A": FieldRule(codec_params={"entropy": entropy})}).validate()
+
     def test_bad_executor_kind(self):
         with pytest.raises(PipelineConfigError, match="executor_kind"):
             PipelineConfig(executor_kind="fork").validate()

@@ -81,9 +81,9 @@ class TestRoundTrip:
         decode_calls = []
         original_decode = SZChunkCodec.decode
 
-        def counting_decode(self, payload, anchors=None):
+        def counting_decode(self, payload, anchors=None, scheduler=None):
             decode_calls.append(len(payload))
-            return original_decode(self, payload, anchors=anchors)
+            return original_decode(self, payload, anchors=anchors, scheduler=scheduler)
 
         monkeypatch.setattr(SZChunkCodec, "decode", counting_decode)
         with ArchiveReader(archive) as reader:
@@ -401,7 +401,7 @@ class TestCorruption:
         # backend-specific errors (zlib.error, ...); verify must report, not die
         from repro.store.codecs import LosslessChunkCodec
 
-        def broken_decode(self, payload, anchors=None):
+        def broken_decode(self, payload, anchors=None, scheduler=None):
             raise zlib.error("invalid compressed stream")
 
         monkeypatch.setattr(LosslessChunkCodec, "decode", broken_decode)
@@ -416,7 +416,7 @@ class TestCorruption:
         # must still say which field and chunk failed, for every chunk
         from repro.store.codecs import LosslessChunkCodec
 
-        def broken_decode(self, payload, anchors=None):
+        def broken_decode(self, payload, anchors=None, scheduler=None):
             raise zlib.error("invalid compressed stream")
 
         monkeypatch.setattr(LosslessChunkCodec, "decode", broken_decode)

@@ -157,6 +157,31 @@ class TestCLI:
         assert code == 2
         assert "unknown codec" in capsys.readouterr().err
 
+    def test_pack_with_entropy_flag(self, tmp_path, capsys):
+        archive = tmp_path / "ent.xfa"
+        assert main(["pack", "cesm", str(archive), "--shape", "48,64", "--entropy", "zlib"]) == 0
+        capsys.readouterr()
+        from repro.store.reader import ArchiveReader
+
+        with ArchiveReader(archive) as reader:
+            for entry in reader.fields():
+                assert entry.codec_params["entropy"] == "zlib"
+        assert main(["verify", str(archive), "--deep"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_entropy_reports_error(self, tmp_path, capsys):
+        code = main(["pack", "cesm", str(tmp_path / "x.xfa"), "--shape", "16,16", "--entropy", "lzma"])
+        assert code == 2
+        assert "unknown entropy coder" in capsys.readouterr().err
+
+    def test_entropy_rejected_for_entropyless_codec(self, tmp_path, capsys):
+        code = main([
+            "pack", "cesm", str(tmp_path / "x.xfa"), "--shape", "16,16",
+            "--codec", "lossless", "--entropy", "huffman",
+        ])
+        assert code == 2
+        assert "no entropy stage" in capsys.readouterr().err
+
     def test_extract_unknown_field_reports_error(self, tmp_path, small_cesm, capsys):
         src = tmp_path / "fieldset"
         write_fieldset(small_cesm.subset(["FLNT"]), src)

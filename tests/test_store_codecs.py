@@ -74,6 +74,34 @@ class TestRegistry:
 
             codecs_module._REGISTRY.pop("test-negated")
 
+    def test_legacy_two_arg_decode_codec_still_reads(self, tmp_path):
+        # codecs registered before decode() grew the scheduler parameter keep
+        # working through every reader path, including single-chunk reads
+        # (where the reader offers its scheduler for intra-chunk fan-out)
+        from repro.store import ArchiveReader, ArchiveWriter
+
+        class LegacyCodec(LosslessChunkCodec):
+            name = "test-legacy"
+
+            def decode(self, payload, anchors=None):
+                return super().decode(payload)
+
+        register_codec(LegacyCodec)
+        try:
+            data = np.arange(64, dtype=np.float32).reshape(8, 8)
+            path = tmp_path / "legacy.xfa"
+            with ArchiveWriter(path, codec="test-legacy") as writer:
+                writer.add_field("x", data)
+            with ArchiveReader(path, jobs=2) as reader:
+                assert np.array_equal(reader.read_field("x"), data)
+                region = reader.read_region("x", (slice(1, 3), slice(2, 5)))
+                assert np.array_equal(region, data[1:3, 2:5])
+                assert reader.verify(deep=True)["ok"]
+        finally:
+            from repro.store import codecs as codecs_module
+
+            codecs_module._REGISTRY.pop("test-legacy")
+
     def test_mixed_case_names_are_retrievable(self):
         class MixedCase(LosslessChunkCodec):
             name = "Test-MixedCase"
