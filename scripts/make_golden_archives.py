@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Regenerate the golden conformance archives under ``tests/data/golden/``.
+
+The golden suite pins the ``XFA1`` wire format: tiny frozen archives are
+committed to the repository together with their expected decoded output
+(``*.expected.npz``) and their raw manifest bytes (``*.manifest.json``).
+``tests/test_golden_archives.py`` decodes the *committed* bytes and compares
+byte-exactly — so any drift in the container framing, the manifest schema,
+a codec's payload layout, or an entropy coder's bit stream fails loudly
+instead of silently shipping a format break.
+
+Fixtures:
+
+- ``v1-huffman.xfa``   — seed-era archive: legacy v1 Huffman payloads (header
+  + bit stream, no checkpoints) *and* a v1 manifest (no timestep index), so
+  the auto-upgrade read path stays pinned.
+- ``hfv2.xfa``         — current default: checkpointed ``HFV2`` entropy
+  payloads, manifest v2.
+- ``mixed-codec.xfa``  — sz, zfp and lossless fields in one archive.
+  (The cross-field codec is deliberately excluded: its CFNN decode runs
+  through BLAS matmuls whose last-ulp rounding may differ across numpy
+  builds, which would make byte-exact pinning flaky.)
+- ``timeseries.xfa``   — appendable time-stepped archive: three steps written
+  through the append path, temporal-delta coded with anchors every 2 steps.
+
+Run from the repository root after an *intentional* format change::
+
+    PYTHONPATH=src python scripts/make_golden_archives.py
+
+then inspect the diff and commit the updated fixtures alongside the change.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "data" / "golden"
+
+#: Tiny but multi-chunk: 2x2 chunk grid per field.
+SHAPE = (16, 32)
+CHUNK = (8, 16)
+SEED = 20240731
+
+
+def _dataset():
+    from repro.data.synthetic import make_dataset
+
+    return make_dataset("cesm", shape=SHAPE, seed=SEED)
+
+
+def _downgrade_manifest_to_v1(path: Path) -> None:
+    """Rewrite an archive's manifest as schema v1 (no timestep index).
+
+    Payload bytes are untouched; only the manifest JSON and the footer are
+    replaced, exactly reproducing what a pre-timestep writer emitted.
+    """
+    from repro.store.manifest import FOOTER_SIZE, pack_footer, read_manifest
+
+    with open(path, "r+b") as fh:
+        manifest, offset, _ = read_manifest(fh)
+        payload = json.loads(manifest.to_json().decode("utf-8"))
+        payload["version"] = 1
+        payload.pop("timesteps", None)
+        manifest_bytes = json.dumps(payload, sort_keys=True).encode("utf-8")
+        crc = zlib.crc32(manifest_bytes) & 0xFFFFFFFF
+        fh.seek(offset)
+        fh.write(manifest_bytes)
+        fh.write(pack_footer(offset, len(manifest_bytes), crc))
+        fh.truncate(offset + len(manifest_bytes) + FOOTER_SIZE)
+
+
+def _force_huffman_v1():
+    """Context manager: make HuffmanCodec emit legacy v1 payloads."""
+    import contextlib
+
+    from repro.encoding.huffman import HuffmanCodec
+
+    @contextlib.contextmanager
+    def patched():
+        original = HuffmanCodec.encode
+
+        def encode_v1(self, symbols, version=1):
+            return original(self, symbols, version=1)
+
+        HuffmanCodec.encode = encode_v1
+        try:
+            yield
+        finally:
+            HuffmanCodec.encode = original
+
+    return patched()
+
+
+def build_v1_huffman(path: Path) -> None:
+    from repro.store import ArchiveWriter
+
+    dataset = _dataset()
+    with _force_huffman_v1():
+        with ArchiveWriter(path, chunk_shape=CHUNK) as writer:
+            writer.add_field("FLNT", dataset["FLNT"].data)
+            writer.add_field("LWCF", dataset["LWCF"].data)
+    _downgrade_manifest_to_v1(path)
+
+
+def build_hfv2(path: Path) -> None:
+    from repro.store import ArchiveWriter
+
+    dataset = _dataset()
+    with ArchiveWriter(path, chunk_shape=CHUNK) as writer:
+        writer.add_field("FLNT", dataset["FLNT"].data)
+        writer.add_field("LWCF", dataset["LWCF"].data)
+
+
+def build_mixed_codec(path: Path) -> None:
+    from repro.store import ArchiveWriter
+
+    dataset = _dataset()
+    with ArchiveWriter(path, chunk_shape=CHUNK) as writer:
+        writer.add_field("FLNT", dataset["FLNT"].data)  # sz default
+        writer.add_field("FLNTC", dataset["FLNTC"].data, codec="zfp")
+        writer.add_field("CLDLOW", dataset["CLDLOW"].data, codec="lossless")
+
+
+def build_timeseries(path: Path) -> None:
+    from repro.data.synthetic import make_timeseries
+    from repro.store import ArchiveWriter, TemporalSpec
+
+    series = make_timeseries(
+        "cesm", shape=SHAPE, steps=3, seed=SEED, fields=("FLNT", "FLNTC"),
+        drift=0.2, noise_level=0.005,
+    )
+    spec = TemporalSpec(mode="delta", anchor_every=2, base="sz")
+    # steps 1..2 go through the real append path (reopen + flush), so the
+    # fixture pins the manifest-log layout, not just the single-shot one
+    with ArchiveWriter(path, chunk_shape=CHUNK) as writer:
+        writer.add_timestep(series[0], time=0.0, temporal=spec)
+    for t in (1, 2):
+        with ArchiveWriter(path, mode="a") as writer:
+            writer.add_timestep(series[t], time=t * 0.5, temporal=spec)
+
+
+def snapshot_expectations(path: Path) -> None:
+    """Record the archive's decoded fields and raw manifest bytes."""
+    from repro.store import ArchiveReader
+    from repro.store.manifest import read_manifest
+
+    with ArchiveReader(path) as reader:
+        arrays = {name: reader.read_field(name) for name in reader.names}
+    np.savez_compressed(path.with_suffix(".expected.npz"), **arrays)
+    with open(path, "rb") as fh:
+        fh.seek(0, 2)
+        size = fh.tell()
+        fh.seek(size - struct.calcsize("<QQI4s"))
+        offset, length, _, _ = struct.unpack("<QQI4s", fh.read())
+        fh.seek(offset)
+        manifest_bytes = fh.read(length)
+    # sanity: what we snapshot must be exactly what the reader parsed
+    with open(path, "rb") as fh:
+        read_manifest(fh)
+    path.with_suffix(".manifest.json").write_bytes(manifest_bytes)
+
+
+BUILDERS = {
+    "v1-huffman": build_v1_huffman,
+    "hfv2": build_hfv2,
+    "mixed-codec": build_mixed_codec,
+    "timeseries": build_timeseries,
+}
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for stem, builder in BUILDERS.items():
+        path = GOLDEN_DIR / f"{stem}.xfa"
+        builder(path)
+        snapshot_expectations(path)
+        size = path.stat().st_size
+        print(f"{path.relative_to(REPO_ROOT)}: {size} bytes")
+    print(f"golden fixtures written to {GOLDEN_DIR.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

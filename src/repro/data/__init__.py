@@ -24,10 +24,12 @@ from repro.data.slicing import (
 )
 from repro.data.synthetic import (
     gaussian_random_field,
+    fourier_shift,
     make_scale_dataset,
     make_hurricane_dataset,
     make_cesm_dataset,
     make_dataset,
+    make_timeseries,
     DATASET_GENERATORS,
 )
 
@@ -49,9 +51,11 @@ __all__ = [
     "reassemble_blocks",
     "take_slice",
     "gaussian_random_field",
+    "fourier_shift",
     "make_scale_dataset",
     "make_hurricane_dataset",
     "make_cesm_dataset",
     "make_dataset",
+    "make_timeseries",
     "DATASET_GENERATORS",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.data.fields import FieldSet
-from repro.data.synthetic import make_dataset
+from repro.data.synthetic import make_dataset, make_timeseries
 from repro.pipeline.config import FieldRule, PipelineConfig
 from repro.pipeline.pipeline import CompressionPipeline, PipelineResult
 from repro.store.reader import ArchiveReader
@@ -62,6 +62,15 @@ class Scenario:
     demo_region:
         Optional region, as slices per axis, that :func:`run_scenario` reads
         back through the random-access path to report chunks-touched stats.
+    steps:
+        ``0`` (default) runs the scenario as a one-shot snapshot compression;
+        ``> 0`` makes it a *streaming* scenario: :func:`run_scenario` builds a
+        temporally correlated series (:func:`~repro.data.synthetic.make_timeseries`)
+        and writes it as timesteps through
+        :meth:`~repro.pipeline.pipeline.CompressionPipeline.compress_timeseries`,
+        honouring the config's ``temporal`` rules.
+    dt:
+        Wall-time spacing between steps of a streaming scenario.
     """
 
     name: str
@@ -71,6 +80,8 @@ class Scenario:
     config: PipelineConfig = field(default_factory=PipelineConfig)
     fields: Optional[Tuple[str, ...]] = None
     demo_region: Optional[Tuple[slice, ...]] = None
+    steps: int = 0
+    dt: float = 1.0
 
     def build_fieldset(self, seed: int = 0) -> FieldSet:
         """Generate (and optionally subset) the scenario's synthetic data."""
@@ -78,6 +89,15 @@ class Scenario:
         if self.fields is not None:
             fieldset = fieldset.subset(list(self.fields))
         return fieldset
+
+    def build_timeseries(self, seed: int = 0) -> List[FieldSet]:
+        """Generate the streaming scenario's snapshot sequence."""
+        if self.steps < 1:
+            raise ValueError(f"scenario {self.name!r} is not a streaming scenario")
+        return make_timeseries(
+            self.dataset, shape=self.shape, steps=self.steps, seed=seed,
+            fields=self.fields,
+        )
 
     def build_config(self) -> PipelineConfig:
         """A validated copy of the preset, labelled with the scenario name."""
@@ -142,12 +162,19 @@ def run_scenario(
     engine worker count (``1`` forces serial execution end to end).
     """
     scenario = get_scenario(name)
-    fieldset = scenario.build_fieldset(seed=seed)
     config = scenario.build_config()
     if jobs is not None:
         config = replace(config, jobs=jobs).validate()
     pipeline = CompressionPipeline(config)
-    result = pipeline.compress(fieldset, output)
+    if scenario.steps > 0:
+        series = scenario.build_timeseries(seed=seed)
+        times = [index * scenario.dt for index in range(len(series))]
+        result = pipeline.compress_timeseries(series, output, times=times)
+        with ArchiveReader(output, jobs=jobs) as reader:
+            result.extras["steps"] = reader.steps
+    else:
+        fieldset = scenario.build_fieldset(seed=seed)
+        result = pipeline.compress(fieldset, output)
     if verify:
         result.verify_report = pipeline.verify(output, deep=True)
     if scenario.demo_region is not None:
@@ -221,6 +248,24 @@ register_scenario(
         shape=(32, 64),
         fields=("CLDLOW", "CLDMED", "CLDHGH"),
         config=PipelineConfig(codec="lossless", chunk_shape=(16, 32)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="climate-timeseries",
+        description="Streaming CESM radiative fields, temporal-delta coded with anchors",
+        dataset="cesm",
+        shape=(48, 96),
+        fields=("FLNT", "FLNTC", "LWCF"),
+        steps=5,
+        dt=0.25,
+        config=PipelineConfig(
+            codec="sz",
+            error_bound=1e-3,
+            chunk_shape=(24, 48),
+            temporal={"mode": "delta", "anchor_every": 4},
+        ),
     )
 )
 

@@ -9,6 +9,13 @@ Store subcommands drive the ``XFA1`` archive end-to-end::
     repro verify snapshot.xfa --deep
     repro unpack snapshot.xfa ./restored
 
+Time-stepped archives append one fieldset per invocation and list their
+timestep index (see ``docs/timeseries.md``)::
+
+    repro append series.xfa ./step0_dir --create --temporal delta
+    repro append series.xfa ./step1_dir --time 0.5
+    repro steps series.xfa
+
 Pipeline subcommands (see :mod:`repro.pipeline` and ``docs/pipeline.md``)
 run configuration-driven workloads::
 
@@ -193,6 +200,29 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_codec_params(params: Dict) -> str:
+    """Compact ``k=v`` rendering of manifest codec parameters for listings.
+
+    Error bounds collapse to ``mode:value`` and nested dicts (a temporal-delta
+    codec's ``base_params``) render recursively, so the whole manifest-recorded
+    configuration of a field is visible in one column.
+    """
+    parts = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, dict):
+            if set(value) == {"mode", "value"}:  # an ErrorBound dict
+                rendered = f"{value['mode']}:{value['value']:g}"
+            elif not value:
+                continue
+            else:
+                rendered = "{" + _format_codec_params(value) + "}"
+        else:
+            rendered = f"{value}"
+        parts.append(f"{key}={rendered}")
+    return " ".join(parts) if parts else "-"
+
+
 def _cmd_ls(args: argparse.Namespace) -> int:
     from repro.store.reader import ArchiveReader
 
@@ -204,13 +234,14 @@ def _cmd_ls(args: argparse.Namespace) -> int:
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         print(f"{'field':<12} {'shape':<16} {'dtype':<8} {'codec':<12} "
-              f"{'chunks':>6} {'size':>10} {'ratio':>7}  anchors")
+              f"{'chunks':>6} {'size':>10} {'ratio':>7}  {'anchors':<14} params")
         for entry in reader.fields():
             anchors = ",".join(entry.anchors) if entry.anchors else "-"
             print(
                 f"{entry.name:<12} {'x'.join(map(str, entry.shape)):<16} {entry.dtype:<8} "
                 f"{entry.codec:<12} {len(entry.chunks):>6} "
-                f"{_human_bytes(entry.compressed_nbytes):>10} {entry.ratio:>6.2f}x  {anchors}"
+                f"{_human_bytes(entry.compressed_nbytes):>10} {entry.ratio:>6.2f}x  "
+                f"{anchors:<14} {_format_codec_params(entry.codec_params)}"
             )
     return 0
 
@@ -267,6 +298,192 @@ def _cmd_unpack(args: argparse.Namespace) -> int:
         dtype = np.result_type(*[np.dtype(reader.field(name).dtype) for name in names])
     write_fieldset(fieldset, args.destination, dtype=dtype)
     print(f"unpacked {len(names)} fields to {args.destination} (dtype {dtype})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# time-stepped subcommands
+# --------------------------------------------------------------------------- #
+def _append_inherited_rules(manifest, names, inherit_bound, inherit_codec, entropy) -> Dict:
+    """Per-field rules continuing a recorded stream's codec configuration.
+
+    An append that does not restate ``--error-bound`` / ``--codec`` /
+    ``--entropy`` must keep each field's recorded fidelity, codec *and* codec
+    parameters (a silent reset to the CLI defaults could loosen the bound by
+    orders of magnitude or switch the entropy coder mid-stream); the
+    manifest's latest occurrence of each field is the source of truth.  An
+    explicit ``--entropy`` wins over the recorded one.
+    """
+    from repro.sz.errors import ErrorBound
+
+    latest: Dict[str, str] = {}
+    for ts in manifest.timesteps:
+        for base, stored in ts.fields.items():
+            latest[base] = stored
+    rules: Dict[str, Dict] = {}
+    for name in names:
+        stored = latest.get(name)
+        if stored is None:
+            continue
+        entry = manifest[stored]
+        rule: Dict = {}
+        if inherit_bound and entry.error_bound is not None:
+            rule["error_bound"] = ErrorBound.from_dict(entry.error_bound)
+        if inherit_codec:
+            if entry.codec == "temporal-delta":
+                rule["codec"] = entry.codec_params.get("base", "sz")
+                params = dict(entry.codec_params.get("base_params", {}))
+            else:
+                rule["codec"] = entry.codec
+                params = dict(entry.codec_params)
+            # the writer re-resolves the bound itself; an explicit --entropy
+            # must not be shadowed by the recorded one (rule params would win)
+            params.pop("error_bound", None)
+            if entropy is not None:
+                params.pop("entropy", None)
+            if params:
+                rule["codec_params"] = params
+        if rule:
+            rules[name] = rule
+    return rules
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    from pathlib import Path as _Path
+
+    from repro.store.temporal import TemporalSpec
+    from repro.store.writer import ArchiveWriter
+    from repro.sz.errors import ErrorBound
+
+    codec_params = {}
+    if args.entropy is not None:
+        # validated here against the explicit flags; re-checked below against
+        # each field's *effective* (possibly inherited) codec
+        codec_params["entropy"] = _check_entropy(args.entropy, args.base or args.codec or "sz")
+    fieldset = _load_source_fieldset(args.source, args.shape, args.seed)
+    if args.fields:
+        fieldset = fieldset.subset([f.strip() for f in args.fields.split(",")])
+    bound_given = args.error_bound is not None
+    error_bound = (
+        ErrorBound.absolute(args.error_bound)
+        if args.mode == "abs"
+        else ErrorBound.relative(args.error_bound)
+    ) if bound_given else ErrorBound.relative(1e-3)
+    exists = _Path(args.archive).exists()
+    if args.temporal == "none" and (args.anchor_every is not None or args.base is not None):
+        raise ArchiveError(
+            "--temporal none contradicts --anchor-every/--base; drop the "
+            "flags that no longer apply"
+        )
+    flags_given = (
+        args.temporal is not None or args.anchor_every is not None or args.base is not None
+    )
+    if args.temporal == "none":
+        temporal = {}  # explicitly no temporal policy for this step
+    elif flags_given:
+        temporal = TemporalSpec(
+            mode=args.temporal or "delta",
+            anchor_every=args.anchor_every if args.anchor_every is not None else 8,
+            base=args.base,
+        )
+    elif not exists:
+        # a brand-new stream defaults to delta coding with the stock cadence
+        temporal = TemporalSpec()
+    else:
+        # continue whatever cadence the archive records per field
+        temporal = None
+    if not exists and not args.create:
+        raise ArchiveError(
+            f"archive {args.archive} does not exist; pass --create to start a "
+            "new time-stepped archive"
+        )
+    with ArchiveWriter(
+        args.archive,
+        codec=args.codec or "sz",
+        error_bound=error_bound,
+        chunk_shape=_parse_chunk_shape(args.chunk),
+        max_workers=args.jobs,
+        mode="a" if exists else "w",
+        recover=args.recover,
+        attrs=None if exists else {"source": str(args.source), "dataset": fieldset.name},
+    ) as writer:
+        field_rules = (
+            _append_inherited_rules(
+                writer.manifest,
+                fieldset.names,
+                inherit_bound=not bound_given,
+                inherit_codec=args.codec is None and args.base is None,
+                entropy=args.entropy,
+            )
+            if exists
+            else {}
+        )
+        if args.entropy is not None:
+            # an inherited codec may have no entropy stage (e.g. lossless);
+            # fail with the same clean error `pack` gives, not a TypeError
+            # from the codec constructor (the writer rolls back cleanly)
+            for name in fieldset.names:
+                effective = (
+                    field_rules.get(name, {}).get("codec")
+                    or args.base or args.codec or "sz"
+                )
+                _check_entropy(args.entropy, effective)
+        entry = writer.add_timestep(
+            fieldset,
+            step=args.step,
+            time=args.time,
+            temporal=temporal,
+            field_rules=field_rules,
+            **codec_params,
+        )
+        stored = [writer.manifest[name] for name in entry.fields.values()]
+        total_in = sum(e.original_nbytes for e in stored)
+        total_out = sum(e.compressed_nbytes for e in stored)
+        n_delta = sum(1 for e in stored if e.codec == "temporal-delta")
+    ratio = total_in / total_out if total_out else float("inf")
+    time_tag = f" (t={entry.time:g})" if entry.time is not None else ""
+    print(
+        f"appended step {entry.step}{time_tag} to {args.archive}: "
+        f"{len(stored)} fields ({n_delta} delta, {len(stored) - n_delta} independent), "
+        f"{_human_bytes(total_in)} -> {_human_bytes(total_out)} (ratio {ratio:.2f}x)"
+    )
+    return 0
+
+
+def _cmd_steps(args: argparse.Namespace) -> int:
+    from repro.store.reader import ArchiveReader
+
+    with ArchiveReader(args.archive, recover=args.recover) as reader:
+        timesteps = reader.timesteps
+        if args.json:
+            payload = []
+            for ts in timesteps:
+                entry = ts.to_dict()
+                entry["compressed_nbytes"] = sum(
+                    reader.field(stored).compressed_nbytes for stored in ts.fields.values()
+                )
+                payload.append(entry)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if not timesteps:
+            print(f"{args.archive}: no timestep index (not a time-stepped archive)")
+            return 0
+        print(f"{'step':>5} {'time':>10} {'fields':>7} {'delta':>6} {'size':>10}  temporal")
+        for ts in timesteps:
+            stored = [reader.field(name) for name in ts.fields.values()]
+            n_delta = sum(1 for e in stored if e.codec == "temporal-delta")
+            size = sum(e.compressed_nbytes for e in stored)
+            specs = sorted(
+                {
+                    f"{spec.get('mode')}/k={spec.get('anchor_every')}"
+                    for spec in ts.temporal.values()
+                }
+            )
+            time_text = "-" if ts.time is None else f"{ts.time:g}"
+            print(
+                f"{ts.step:>5} {time_text:>10} {len(stored):>7} {n_delta:>6} "
+                f"{_human_bytes(size):>10}  {','.join(specs) if specs else '-'}"
+            )
     return 0
 
 
@@ -388,6 +605,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="store TARGET with the cross-field codec anchored on fields A1,A2 (repeatable)",
     )
     pack.set_defaults(func=_cmd_pack)
+
+    append = sub.add_parser(
+        "append",
+        help="append one fieldset as a timestep to a time-stepped archive",
+        parents=[jobs_parent],
+    )
+    append.add_argument("archive", help="archive to append to (see --create)")
+    append.add_argument("source", help="fieldset directory or synthetic dataset name")
+    append.add_argument("--create", action="store_true",
+                        help="create the archive if it does not exist yet")
+    append.add_argument("--step", type=int, default=None,
+                        help="timestep id (default: one past the last step)")
+    append.add_argument("--time", type=float, default=None, help="wall-time tag for the step")
+    append.add_argument(
+        "--temporal", choices=("delta", "independent", "none"), default=None,
+        help="time coding: delta residuals with periodic anchors, independent "
+        "per-step storage, or none to skip temporal policy (default: continue "
+        "the cadence the archive records; delta for a new archive)",
+    )
+    append.add_argument("--anchor-every", type=int, default=None, metavar="K",
+                        help="independent anchor step every K occurrences "
+                        "(default: the recorded cadence, 8 for a new archive)")
+    append.add_argument("--base", default=None,
+                        help="base codec for anchors and delta residuals (default: --codec)")
+    append.add_argument("--codec", default=None,
+                        help="codec for independent fields (default: each field's "
+                        "recorded codec, sz for new fields)")
+    append.add_argument(
+        "--entropy",
+        help="entropy coder for codecs with an entropy stage "
+        "(registered: huffman, zlib, raw; default: the codec's default)",
+    )
+    append.add_argument("--error-bound", type=float, default=None,
+                        help="error bound value (default: each field's recorded "
+                        "bound, 1e-3 for new fields)")
+    append.add_argument("--mode", choices=("rel", "abs"), default="rel",
+                        help="error bound mode (default: rel)")
+    append.add_argument("--chunk", help="chunk shape for new fields, comma separated")
+    append.add_argument("--fields", help="comma-separated subset of fields to append")
+    append.add_argument("--shape", help="grid shape for synthetic dataset sources")
+    append.add_argument("--seed", type=int, default=None, help="seed for synthetic dataset sources")
+    append.add_argument(
+        "--recover", action="store_true",
+        help="resume past a torn tail left by a crashed append session",
+    )
+    append.set_defaults(func=_cmd_append)
+
+    steps = sub.add_parser(
+        "steps", help="list the timestep index of a time-stepped archive",
+        parents=[jobs_parent],
+    )
+    steps.add_argument("archive")
+    steps.add_argument("--json", action="store_true", help="machine-readable output")
+    steps.add_argument(
+        "--recover", action="store_true",
+        help="read through a torn tail (crashed append) via the recovery scan",
+    )
+    steps.set_defaults(func=_cmd_steps)
 
     ls = sub.add_parser("ls", help="list the fields of an archive", parents=[jobs_parent])
     ls.add_argument("archive")

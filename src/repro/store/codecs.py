@@ -35,6 +35,7 @@ __all__ = [
     "ZFPChunkCodec",
     "CrossFieldChunkCodec",
     "LosslessChunkCodec",
+    "TemporalDeltaCodec",
     "register_codec",
     "get_codec",
     "codec_class",
@@ -313,6 +314,74 @@ class LosslessChunkCodec(Codec):
         return {"backend": self.backend}
 
 
+class TemporalDeltaCodec(Codec):
+    """Residual coding against the previous timestep, through any base codec.
+
+    The anchor chunk handed in by the store is the *decoded* chunk of the same
+    field at the previous timestep (closed-loop prediction): encode compresses
+    the residual ``chunk - previous`` with the ``base`` codec at the target
+    error bound, decode adds the reconstructed residual back.  Because the
+    base codec bounds ``|residual_hat - residual|``, the reconstruction
+    satisfies ``|decoded - original| <= bound`` at *every* step — the bound
+    does not drift along a delta chain.
+
+    ``base`` must be a non-anchored codec (``sz`` / ``zfp`` / ``lossless`` /
+    any registered equivalent); with a lossless base the round trip is exact.
+    Chained deltas resolve recursively through the store's anchor machinery:
+    reading step *t* decodes back to the nearest independent anchor step.
+    """
+
+    name = "temporal-delta"
+    requires_anchors = True
+
+    def __init__(
+        self,
+        error_bound: Union[ErrorBound, Dict, float, None] = None,
+        base: str = "sz",
+        base_params: Optional[Dict] = None,
+    ) -> None:
+        base_cls = codec_class(base)
+        if base_cls.requires_anchors:
+            raise ValueError(
+                f"temporal-delta base codec must decode without anchors, got {base!r}"
+            )
+        self.base = base_cls.name
+        self.base_params = dict(base_params or {})
+        if base_cls.is_lossless:
+            self.error_bound = None
+            self._base = get_codec(base, **self.base_params)
+        else:
+            self.error_bound = _as_error_bound(error_bound)
+            self._base = get_codec(base, error_bound=self.error_bound, **self.base_params)
+
+    def _previous(self, anchors: Optional[Sequence[np.ndarray]]) -> np.ndarray:
+        if not anchors or len(anchors) != 1:
+            raise ValueError(
+                "temporal-delta codec needs exactly one anchor chunk "
+                "(the decoded previous timestep)"
+            )
+        return np.asarray(anchors[0], dtype=np.float64)
+
+    def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
+        residual = np.asarray(chunk, dtype=np.float64) - self._previous(anchors)
+        return self._base.encode(np.ascontiguousarray(residual))
+
+    def decode(
+        self,
+        payload: bytes,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ) -> np.ndarray:
+        residual = self._base.decode(payload, scheduler=scheduler)
+        return self._previous(anchors) + np.asarray(residual, dtype=np.float64)
+
+    def params(self) -> Dict:
+        payload: Dict = {"base": self.base, "base_params": self.base_params}
+        if self.error_bound is not None:
+            payload["error_bound"] = self.error_bound.to_dict()
+        return payload
+
+
 # --------------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------------- #
@@ -356,5 +425,11 @@ def available_codecs() -> List[str]:
     return sorted(_REGISTRY)
 
 
-for _cls in (SZChunkCodec, ZFPChunkCodec, CrossFieldChunkCodec, LosslessChunkCodec):
+for _cls in (
+    SZChunkCodec,
+    ZFPChunkCodec,
+    CrossFieldChunkCodec,
+    LosslessChunkCodec,
+    TemporalDeltaCodec,
+):
     register_codec(_cls)

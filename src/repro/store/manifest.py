@@ -19,29 +19,41 @@ CRC-verifies the JSON manifest, and from then on every chunk of every field is
 one ``seek`` + ``read`` away.  Chunk payloads are opaque to this module — the
 codec named in the field entry (see :mod:`repro.store.codecs`) produced them.
 
+Appendable archives re-publish the manifest at the end of the file on every
+flush (see :meth:`repro.store.writer.ArchiveWriter.flush`); earlier manifests
+stay in place as dead bytes, forming a *manifest log* that
+:func:`recover_manifest` can scan backwards when the newest footer was lost to
+a crash or truncation.
+
 This module owns the byte-level header/footer framing, the manifest
-dataclasses, and the chunk-grid arithmetic used to map a region of interest to
-the set of intersecting chunks.
+dataclasses (including the versioned timestep index), the shared
+footer-first manifest loading, and the chunk-grid arithmetic used to map a
+region of interest to the set of intersecting chunks.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
+    "MANIFEST_VERSION",
     "ArchiveError",
     "ArchiveCorruptionError",
     "ChunkEntry",
     "FieldEntry",
+    "TimestepEntry",
     "ArchiveManifest",
+    "read_manifest",
+    "recover_manifest",
     "chunk_grid_counts",
     "chunks_intersecting_region",
     "normalize_region",
@@ -49,6 +61,11 @@ __all__ = [
 
 MAGIC = b"XFA1"  # cross-field archive, format version 1
 FORMAT_VERSION = 1
+
+#: Manifest schema version.  v1: fields only.  v2: adds the ``timesteps``
+#: index for appendable time-stepped archives; v1 manifests auto-upgrade to
+#: the in-memory v2 form (empty index) on read.
+MANIFEST_VERSION = 2
 
 _HEADER_FMT = "<4sB11x"  # magic, version, 11 reserved bytes
 _FOOTER_FMT = "<QQI4s"  # manifest offset, manifest length, manifest crc32, magic
@@ -259,18 +276,98 @@ class FieldEntry:
 
 
 @dataclass
+class TimestepEntry:
+    """One entry of the manifest's timestep index.
+
+    ``fields`` maps each *base* field name of the step to the name the data is
+    stored under in the flat field table (the writer uses ``{base}@{step}``).
+    ``temporal`` records, per base name, the :class:`~repro.store.temporal.TemporalSpec`
+    dict the step was written with (absent for independently coded fields), so
+    a later append session can continue the same anchor cadence.
+    """
+
+    step: int
+    time: Optional[float] = None
+    fields: Dict[str, str] = field(default_factory=dict)
+    temporal: Dict[str, Dict] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        payload: Dict = {
+            "step": int(self.step),
+            "time": None if self.time is None else float(self.time),
+            "fields": dict(self.fields),
+        }
+        if self.temporal:
+            payload["temporal"] = {name: dict(spec) for name, spec in self.temporal.items()}
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TimestepEntry":
+        """Inverse of :meth:`to_dict`."""
+        fields = payload.get("fields")
+        if not isinstance(fields, dict) or not fields:
+            raise ArchiveCorruptionError(
+                f"timestep {payload.get('step')!r}: manifest entry must map at "
+                "least one field name to a stored field"
+            )
+        time = payload.get("time")
+        return cls(
+            step=int(payload["step"]),
+            time=None if time is None else float(time),
+            fields={str(k): str(v) for k, v in fields.items()},
+            temporal={str(k): dict(v) for k, v in payload.get("temporal", {}).items()},
+        )
+
+
+@dataclass
 class ArchiveManifest:
-    """Ordered collection of :class:`FieldEntry` plus archive-level metadata."""
+    """Ordered collection of :class:`FieldEntry` plus archive-level metadata.
+
+    ``timesteps`` is the manifest-v2 time axis: an ordered (strictly
+    increasing ``step``) list of :class:`TimestepEntry` whose stored names all
+    resolve in ``fields``.  Archives without a time axis keep it empty.
+    """
 
     fields: Dict[str, FieldEntry] = field(default_factory=dict)
     attrs: Dict = field(default_factory=dict)
-    version: int = FORMAT_VERSION
+    version: int = MANIFEST_VERSION
+    timesteps: List[TimestepEntry] = field(default_factory=list)
 
     def add(self, entry: FieldEntry) -> None:
         """Register a field entry, rejecting duplicates."""
         if entry.name in self.fields:
             raise ArchiveError(f"duplicate field name {entry.name!r}")
         self.fields[entry.name] = entry
+
+    def add_timestep(self, entry: TimestepEntry) -> None:
+        """Append a timestep index entry (monotonic step ids, known fields)."""
+        if self.timesteps and entry.step <= self.timesteps[-1].step:
+            raise ArchiveError(
+                f"timestep ids must be strictly increasing: {entry.step} follows "
+                f"{self.timesteps[-1].step}"
+            )
+        for base, stored in entry.fields.items():
+            if stored not in self.fields:
+                raise ArchiveError(
+                    f"timestep {entry.step}: stored field {stored!r} (for {base!r}) "
+                    "is not in the archive"
+                )
+        self.timesteps.append(entry)
+
+    def timestep(self, step: int) -> TimestepEntry:
+        """The timestep index entry for ``step``."""
+        for entry in self.timesteps:
+            if entry.step == int(step):
+                return entry
+        raise ArchiveError(
+            f"no timestep {step!r} in archive; available: {self.steps}"
+        )
+
+    @property
+    def steps(self) -> List[int]:
+        """Recorded timestep ids, in append order."""
+        return [entry.step for entry in self.timesteps]
 
     def __contains__(self, name: str) -> bool:
         return name in self.fields
@@ -292,27 +389,151 @@ class ArchiveManifest:
             "version": self.version,
             "attrs": self.attrs,
             "fields": [entry.to_dict() for entry in self.fields.values()],
+            "timesteps": [entry.to_dict() for entry in self.timesteps],
         }
         return json.dumps(payload, sort_keys=True).encode("utf-8")
 
     @classmethod
     def from_json(cls, payload: bytes) -> "ArchiveManifest":
-        """Parse the JSON produced by :meth:`to_json`."""
+        """Parse the JSON produced by :meth:`to_json`.
+
+        Manifest version 1 (written before the timestep index existed) is
+        auto-upgraded to the in-memory v2 form with an empty time axis;
+        versions newer than :data:`MANIFEST_VERSION` are rejected.
+        """
         try:
             decoded = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ArchiveCorruptionError(f"manifest is not valid JSON: {exc}") from exc
         if decoded.get("format") != MAGIC.decode("ascii"):
             raise ArchiveCorruptionError("manifest format tag mismatch")
-        manifest = cls(version=int(decoded.get("version", FORMAT_VERSION)), attrs=dict(decoded.get("attrs", {})))
+        version = int(decoded.get("version", 1))
+        if version > MANIFEST_VERSION:
+            raise ArchiveError(
+                f"manifest version {version} is newer than this reader "
+                f"(supports <= {MANIFEST_VERSION})"
+            )
+        manifest = cls(version=MANIFEST_VERSION, attrs=dict(decoded.get("attrs", {})))
         for entry in decoded.get("fields", []):
             manifest.add(FieldEntry.from_dict(entry))
+        if version >= 2:
+            try:
+                for entry in decoded.get("timesteps", []):
+                    manifest.add_timestep(TimestepEntry.from_dict(entry))
+            except (KeyError, TypeError, ValueError) as exc:
+                # add_timestep raises ArchiveError (a ValueError) with context;
+                # bare struct problems get wrapped so readers see one hierarchy
+                if isinstance(exc, ArchiveError):
+                    raise
+                raise ArchiveCorruptionError(f"malformed timestep index: {exc}") from exc
         return manifest
 
     def checked_json(self) -> Tuple[bytes, int]:
         """Return ``(json_bytes, crc32)`` ready for the footer."""
         payload = self.to_json()
         return payload, zlib.crc32(payload) & 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- #
+# footer-first manifest loading and crash recovery
+# --------------------------------------------------------------------------- #
+def read_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int, int]:
+    """Load the newest manifest of an archive, footer-first.
+
+    Returns ``(manifest, manifest_offset, published_end)`` where
+    ``published_end`` is the file offset one past the footer (== file size for
+    a cleanly closed archive).  Raises :class:`ArchiveCorruptionError` when
+    the framing or CRCs are inconsistent — e.g. an append session crashed
+    after writing payload bytes but before its flush completed, leaving the
+    last *published* footer buried mid-file (see :func:`recover_manifest`).
+    """
+    fh.seek(0, os.SEEK_END)
+    file_size = fh.tell()
+    if file_size < HEADER_SIZE + FOOTER_SIZE:
+        raise ArchiveCorruptionError("file too small to be an XFA1 archive")
+    fh.seek(0)
+    unpack_header(fh.read(HEADER_SIZE))
+    fh.seek(file_size - FOOTER_SIZE)
+    offset, length, crc = unpack_footer(fh.read(FOOTER_SIZE))
+    if offset + length > file_size - FOOTER_SIZE:
+        raise ArchiveCorruptionError("footer points past the end of the file")
+    fh.seek(offset)
+    manifest_bytes = fh.read(length)
+    if (zlib.crc32(manifest_bytes) & 0xFFFFFFFF) != crc:
+        raise ArchiveCorruptionError("manifest CRC mismatch: archive is corrupted")
+    return ArchiveManifest.from_json(manifest_bytes), offset, file_size
+
+
+_RECOVERY_WINDOW = 1 << 20  # scan the tail in 1 MiB blocks
+
+
+def recover_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int]:
+    """Find the newest *valid* manifest by scanning the file backwards.
+
+    Every flush of an append session leaves a ``manifest + footer`` pair in
+    the file; only the newest one is reachable footer-first.  When the tail
+    was lost (crash mid-append, truncated copy), this scans backwards for
+    footer magic candidates, validates each (footer immediately follows its
+    manifest, CRC matches, JSON parses) and returns the first survivor as
+    ``(manifest, published_end)`` — everything the archive had fully flushed
+    at that point.  ``published_end`` is the offset one past the recovered
+    footer; callers resuming an append truncate to it.
+
+    Raises :class:`ArchiveCorruptionError` when no valid manifest exists
+    anywhere in the file (including a bad header).
+    """
+    fh.seek(0, os.SEEK_END)
+    file_size = fh.tell()
+    if file_size < HEADER_SIZE + FOOTER_SIZE:
+        raise ArchiveCorruptionError("file too small to be an XFA1 archive")
+    fh.seek(0)
+    unpack_header(fh.read(HEADER_SIZE))
+
+    def try_candidate(footer_end: int) -> Optional[Tuple["ArchiveManifest", int]]:
+        footer_start = footer_end - FOOTER_SIZE
+        if footer_start < HEADER_SIZE:
+            return None
+        fh.seek(footer_start)
+        try:
+            offset, length, crc = unpack_footer(fh.read(FOOTER_SIZE))
+        except ArchiveError:
+            return None
+        # the writer always places a footer immediately after its manifest;
+        # enforcing that here rejects payload bytes that merely contain magic
+        if offset < HEADER_SIZE or offset + length != footer_start:
+            return None
+        fh.seek(offset)
+        manifest_bytes = fh.read(length)
+        if (zlib.crc32(manifest_bytes) & 0xFFFFFFFF) != crc:
+            return None
+        try:
+            manifest = ArchiveManifest.from_json(manifest_bytes)
+        except ArchiveError:
+            return None
+        return manifest, footer_end
+
+    magic_len = len(MAGIC)
+    high = file_size
+    while high > HEADER_SIZE:
+        low = max(HEADER_SIZE, high - _RECOVERY_WINDOW)
+        fh.seek(low)
+        # overlap the next block by magic_len-1 bytes so a magic string
+        # straddling the block boundary is still found
+        window = fh.read(min(high + magic_len - 1, file_size) - low)
+        search_end = len(window)
+        while True:
+            found = window.rfind(MAGIC, 0, search_end)
+            if found < 0:
+                break
+            search_end = found + magic_len - 1
+            recovered = try_candidate(low + found + magic_len)
+            if recovered is not None:
+                return recovered
+        high = low
+    raise ArchiveCorruptionError(
+        "no valid manifest found anywhere in the file: archive is corrupted "
+        "beyond recovery"
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -39,12 +39,11 @@ from repro.store.manifest import (
     ArchiveManifest,
     ChunkEntry,
     FieldEntry,
-    FOOTER_SIZE,
-    HEADER_SIZE,
+    TimestepEntry,
     chunks_intersecting_region,
     normalize_region,
-    unpack_footer,
-    unpack_header,
+    read_manifest,
+    recover_manifest,
 )
 
 __all__ = ["ArchiveReader", "ChunkFetcher"]
@@ -216,6 +215,12 @@ class ArchiveReader:
         the pool to the machine, ``1`` decodes serially in the calling thread.
     executor_kind:
         ``"thread"`` (default — codecs release the GIL) or ``"serial"``.
+    recover:
+        When the newest footer is torn (an append session crashed mid-write,
+        or the file was truncated), scan backwards for the last fully flushed
+        manifest instead of raising — the reader then serves everything the
+        archive had durably published at that point.  The file itself is not
+        modified.
 
     The reader is safe to share between threads: the file handle and the
     chunk cache are internally locked, and decodes run outside both locks.
@@ -234,6 +239,7 @@ class ArchiveReader:
         cache_entries: Optional[int] = None,
         jobs: Optional[int] = None,
         executor_kind: str = "thread",
+        recover: bool = False,
     ) -> None:
         if executor_kind == "process":
             # chunk fetches close over the reader's file handle and cache
@@ -247,7 +253,12 @@ class ArchiveReader:
         self.path = Path(path)
         self._fh: Optional[BinaryIO] = open(self.path, "rb")
         try:
-            self.manifest = self._load_manifest(self._fh)
+            try:
+                self.manifest, _, _ = read_manifest(self._fh)
+            except ArchiveError:
+                if not recover:
+                    raise
+                self.manifest, _ = recover_manifest(self._fh)
         except Exception:
             self._fh.close()
             self._fh = None
@@ -257,27 +268,6 @@ class ArchiveReader:
             self.manifest.__getitem__,
             LRUChunkCache(max_bytes=cache_bytes, max_entries=cache_entries),
         )
-
-    # ------------------------------------------------------------------ #
-    # lifecycle
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _load_manifest(fh: BinaryIO) -> ArchiveManifest:
-        fh.seek(0, os.SEEK_END)
-        file_size = fh.tell()
-        if file_size < HEADER_SIZE + FOOTER_SIZE:
-            raise ArchiveCorruptionError("file too small to be an XFA1 archive")
-        fh.seek(0)
-        unpack_header(fh.read(HEADER_SIZE))
-        fh.seek(file_size - FOOTER_SIZE)
-        offset, length, crc = unpack_footer(fh.read(FOOTER_SIZE))
-        if offset + length > file_size - FOOTER_SIZE:
-            raise ArchiveCorruptionError("footer points past the end of the file")
-        fh.seek(offset)
-        manifest_bytes = fh.read(length)
-        if (zlib.crc32(manifest_bytes) & 0xFFFFFFFF) != crc:
-            raise ArchiveCorruptionError("manifest CRC mismatch: archive is corrupted")
-        return ArchiveManifest.from_json(manifest_bytes)
 
     def close(self) -> None:
         """Close the underlying file handle and release the worker pool."""
@@ -367,6 +357,66 @@ class ArchiveReader:
             dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
             out[dest] = chunk[src]
         return out
+
+    # ------------------------------------------------------------------ #
+    # time-stepped reads
+    # ------------------------------------------------------------------ #
+    @property
+    def timesteps(self) -> List[TimestepEntry]:
+        """The manifest's timestep index, in append order (empty when absent)."""
+        return list(self.manifest.timesteps)
+
+    @property
+    def steps(self) -> List[int]:
+        """Recorded timestep ids, in append order."""
+        return self.manifest.steps
+
+    def read_timestep(self, step: int, fields: Optional[List[str]] = None):
+        """Decode one timestep into a :class:`~repro.data.fields.FieldSet`.
+
+        The returned fields carry their *base* names (``"FLNT"``, not the
+        stored ``"FLNT@3"``).  ``fields`` selects a subset of the step's base
+        names.  Chunk decodes fan out through the reader's scheduler exactly
+        like :meth:`read_field`; ``temporal-delta`` fields transparently
+        resolve their residual chain back to the nearest anchor step.
+        """
+        from repro.data.fields import Field, FieldSet
+
+        self._require_open()
+        entry = self.manifest.timestep(step)
+        names = list(fields) if fields is not None else list(entry.fields)
+        for name in names:
+            if name not in entry.fields:
+                raise ArchiveError(
+                    f"timestep {entry.step} has no field {name!r}; "
+                    f"available: {sorted(entry.fields)}"
+                )
+        return FieldSet(
+            [Field(name, self.read_field(entry.fields[name])) for name in names],
+            name=f"step-{entry.step}",
+        )
+
+    def read_time_range(
+        self,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        fields: Optional[List[str]] = None,
+    ):
+        """Decode every timestep with ``start <= step < stop``.
+
+        Returns a list of ``(TimestepEntry, FieldSet)`` pairs in step order;
+        ``None`` bounds are open.  Selecting a contiguous range that begins
+        mid-chain is still O(range + anchor distance): the chunk cache keeps
+        each intermediate delta decode from repeating per step.
+        """
+        self._require_open()
+        selected = [
+            entry
+            for entry in self.manifest.timesteps
+            if (start is None or entry.step >= int(start))
+            and (stop is None or entry.step < int(stop))
+        ]
+        return [(entry, self.read_timestep(entry.step, fields=fields)) for entry in selected]
 
     # ------------------------------------------------------------------ #
     # integrity

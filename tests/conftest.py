@@ -1,4 +1,13 @@
-"""Shared fixtures: small cached synthetic datasets and RNGs."""
+"""Shared fixtures: cached synthetic datasets, RNGs, and build-once archives.
+
+Archive construction (chunked compression, CFNN training for cross-field
+fields) dominates the store/CLI test runtime, and most tests need the *same*
+archive.  The ``*_master`` fixtures build each archive exactly once per
+session; tests that mutate the file (corruption, truncation) take a cheap
+per-test copy instead of recompressing from scratch.
+"""
+
+import shutil
 
 import numpy as np
 import pytest
@@ -27,3 +36,78 @@ def hurricane_small():
 def scale_small():
     """Small SCALE-like 3D dataset shared across tests."""
     return make_dataset("scale", shape=(8, 40, 40), seed=5)
+
+
+# --------------------------------------------------------------------------- #
+# build-once archives and fieldset directories
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def multi_codec_archive_master(tmp_path_factory, cesm_small):
+    """A packed archive exercising every seed codec — built once per session.
+
+    Never hand this path to a test directly: tests corrupt archive bytes.
+    Use the function-scoped ``archive`` copy in ``test_store_archive.py`` (or
+    take your own copy).
+    """
+    from repro.store import ArchiveWriter
+    from repro.sz.errors import ErrorBound
+
+    path = tmp_path_factory.mktemp("archive-masters") / "multi-codec.xfa"
+    with ArchiveWriter(
+        path, chunk_shape=(24, 24), error_bound=ErrorBound.relative(1e-3)
+    ) as writer:
+        writer.add_field("FLNT", cesm_small["FLNT"].data)
+        writer.add_field("FLNTC", cesm_small["FLNTC"].data, codec="zfp")
+        writer.add_field("CLDLOW", cesm_small["CLDLOW"].data, codec="lossless")
+        writer.add_field("CLDMED", cesm_small["CLDMED"].data)
+        writer.add_field(
+            "LWCF",
+            cesm_small["LWCF"].data,
+            codec="cross-field",
+            anchors=("FLNT", "FLNTC"),
+            epochs=2,
+            n_patches=16,
+        )
+    return path
+
+
+@pytest.fixture(scope="session")
+def cli_fieldset_dir(tmp_path_factory, cesm_small):
+    """An on-disk fieldset directory (FLNT, FLNTC, LWCF) — built once.
+
+    Read-only: CLI tests pack *from* it; none may write into it.
+    """
+    from repro.data.io import write_fieldset
+
+    dest = tmp_path_factory.mktemp("fieldsets") / "cesm-small"
+    write_fieldset(cesm_small.subset(["FLNT", "FLNTC", "LWCF"]), dest)
+    return dest
+
+
+@pytest.fixture(scope="session")
+def cli_archive_master(tmp_path_factory, cli_fieldset_dir):
+    """``repro pack`` of :func:`cli_fieldset_dir` — built once per session.
+
+    Read-only for the same reason as :func:`multi_codec_archive_master`;
+    mutating tests copy it via :func:`copy_archive`.
+    """
+    from repro.store.cli import main
+
+    path = tmp_path_factory.mktemp("archive-masters") / "cli-snap.xfa"
+    code = main(
+        ["pack", str(cli_fieldset_dir), str(path), "--chunk", "24,24", "--error-bound", "1e-3"]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def copy_archive(tmp_path):
+    """Copy a master archive into the test's tmp dir (safe to corrupt)."""
+
+    def _copy(master, name="snap.xfa"):
+        dest = tmp_path / name
+        shutil.copyfile(master, dest)
+        return dest
+
+    return _copy

@@ -23,23 +23,14 @@ from repro.sz.errors import ErrorBound
 
 
 @pytest.fixture()
-def archive(tmp_path, cesm_small):
-    """A packed archive exercising every registered codec."""
-    path = tmp_path / "snapshot.xfa"
-    with ArchiveWriter(path, chunk_shape=(24, 24), error_bound=ErrorBound.relative(1e-3)) as writer:
-        writer.add_field("FLNT", cesm_small["FLNT"].data)
-        writer.add_field("FLNTC", cesm_small["FLNTC"].data, codec="zfp")
-        writer.add_field("CLDLOW", cesm_small["CLDLOW"].data, codec="lossless")
-        writer.add_field("CLDMED", cesm_small["CLDMED"].data)
-        writer.add_field(
-            "LWCF",
-            cesm_small["LWCF"].data,
-            codec="cross-field",
-            anchors=("FLNT", "FLNTC"),
-            epochs=2,
-            n_patches=16,
-        )
-    return path
+def archive(copy_archive, multi_codec_archive_master):
+    """A per-test copy of the session-built every-codec archive.
+
+    The archive itself is compressed exactly once per session (see
+    ``tests/conftest.py``); the copy exists because several tests corrupt or
+    truncate the file in place.
+    """
+    return copy_archive(multi_codec_archive_master, "snapshot.xfa")
 
 
 class TestRoundTrip:

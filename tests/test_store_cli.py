@@ -1,16 +1,17 @@
-"""End-to-end tests for the ``repro`` CLI driving the archive store."""
+"""End-to-end tests for the ``repro`` CLI driving the archive store.
+
+Packing dominates CLI test runtime, so tests share the session-scoped
+``cli_fieldset_dir`` / ``cli_archive_master`` fixtures from ``conftest.py``
+(built once); tests that corrupt archive bytes take a ``copy_archive`` copy.
+"""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.data.io import read_fieldset, write_fieldset
-from repro.data.synthetic import make_dataset
 from repro.store.cli import main, parse_region
-
-
-@pytest.fixture(scope="module")
-def small_cesm():
-    return make_dataset("cesm", shape=(48, 64), seed=9)
 
 
 class TestParseRegion:
@@ -31,12 +32,12 @@ class TestParseRegion:
 
 
 class TestCLI:
-    def test_pack_ls_extract_verify_unpack(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT", "FLNTC", "LWCF"]), src)
+    def test_pack_ls_extract_verify_unpack(self, tmp_path, cli_fieldset_dir, cesm_small, capsys):
         archive = tmp_path / "snap.xfa"
 
-        assert main(["pack", str(src), str(archive), "--chunk", "24,24", "--error-bound", "1e-3"]) == 0
+        assert main([
+            "pack", str(cli_fieldset_dir), str(archive), "--chunk", "24,24", "--error-bound", "1e-3",
+        ]) == 0
         assert archive.exists()
         assert "packed 3 fields" in capsys.readouterr().out
 
@@ -52,7 +53,7 @@ class TestCLI:
         capsys.readouterr()
         window = np.load(out_npy)
         assert window.shape == (10, 20)
-        original = small_cesm["FLNT"].data[0:10, 20:40]
+        original = cesm_small["FLNT"].data[0:10, 20:40]
         assert np.max(np.abs(window.astype(np.float64) - original.astype(np.float64))) <= 1.0
 
         assert main(["verify", str(archive), "--deep"]) == 0
@@ -67,10 +68,10 @@ class TestCLI:
             err = np.max(
                 np.abs(
                     restored[name].data.astype(np.float64)
-                    - small_cesm[name].data.astype(np.float64)
+                    - cesm_small[name].data.astype(np.float64)
                 )
             )
-            value_range = small_cesm[name].value_range
+            value_range = cesm_small[name].value_range
             assert err <= 1e-3 * value_range * (1 + 1e-9)
 
     def test_pack_synthetic_with_cross_field(self, tmp_path, capsys):
@@ -84,20 +85,29 @@ class TestCLI:
         assert code == 0
         capsys.readouterr()
         assert main(["ls", str(archive), "--json"]) == 0
-        import json
-
         entries = {e["name"]: e for e in json.loads(capsys.readouterr().out)}
         assert entries["CLDTOT"]["codec"] == "cross-field"
         assert entries["CLDTOT"]["anchors"] == ["CLDLOW", "CLDMED"]
         assert entries["CLDLOW"]["codec"] == "sz"
 
-    def test_verify_fails_on_corruption(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT"]), src)
-        archive = tmp_path / "snap.xfa"
-        assert main(["pack", str(src), str(archive)]) == 0
-        capsys.readouterr()
+    def test_ls_surfaces_codec_params(self, cli_archive_master, capsys):
+        # the listing must show the manifest-recorded codec parameters
+        # (entropy mode etc.), not just the codec name
+        assert main(["ls", str(cli_archive_master)]) == 0
+        listing = capsys.readouterr().out
+        assert "params" in listing
+        assert "entropy=huffman" in listing
+        assert "predictor=lorenzo" in listing
 
+    def test_ls_params_reflect_entropy_choice(self, tmp_path, cli_fieldset_dir, capsys):
+        archive = tmp_path / "zlib.xfa"
+        assert main(["pack", str(cli_fieldset_dir), str(archive), "--entropy", "zlib"]) == 0
+        capsys.readouterr()
+        assert main(["ls", str(archive)]) == 0
+        assert "entropy=zlib" in capsys.readouterr().out
+
+    def test_verify_fails_on_corruption(self, cli_archive_master, copy_archive, capsys):
+        archive = copy_archive(cli_archive_master)
         raw = bytearray(archive.read_bytes())
         raw[100] ^= 0xFF  # inside the first chunk payload
         archive.write_bytes(bytes(raw))
@@ -118,19 +128,12 @@ class TestCLI:
         assert "known synthetic dataset" not in err
         assert "2D" in err
 
-    def test_bad_region_string_reports_error(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT"]), src)
-        archive = tmp_path / "snap.xfa"
-        assert main(["pack", str(src), str(archive)]) == 0
-        capsys.readouterr()
-        assert main(["extract", str(archive), "FLNT", "--region", "a:b"]) == 2
+    def test_bad_region_string_reports_error(self, cli_archive_master, capsys):
+        assert main(["extract", str(cli_archive_master), "FLNT", "--region", "a:b"]) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_shape_rejected_for_directory_source(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT"]), src)
-        code = main(["pack", str(src), str(tmp_path / "x.xfa"), "--shape", "16,16"])
+    def test_shape_rejected_for_directory_source(self, tmp_path, cli_fieldset_dir, capsys):
+        code = main(["pack", str(cli_fieldset_dir), str(tmp_path / "x.xfa"), "--shape", "16,16"])
         assert code == 2
         assert "only apply to synthetic dataset sources" in capsys.readouterr().err
 
@@ -182,21 +185,14 @@ class TestCLI:
         assert code == 2
         assert "no entropy stage" in capsys.readouterr().err
 
-    def test_extract_unknown_field_reports_error(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT"]), src)
-        archive = tmp_path / "snap.xfa"
-        assert main(["pack", str(src), str(archive)]) == 0
-        capsys.readouterr()
-        assert main(["extract", str(archive), "NOPE"]) == 2
+    def test_extract_unknown_field_reports_error(self, cli_archive_master, capsys):
+        assert main(["extract", str(cli_archive_master), "NOPE"]) == 2
         err = capsys.readouterr().err
         assert err.startswith("error: no field named")  # no KeyError repr quoting
 
-    def test_jobs_flag_global_and_per_subcommand(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT", "FLNTC"]), src)
+    def test_jobs_flag_global_and_per_subcommand(self, tmp_path, cli_fieldset_dir, capsys):
         archive = tmp_path / "snap.xfa"
-        assert main(["--jobs", "2", "pack", str(src), str(archive), "--chunk", "24,24"]) == 0
+        assert main(["--jobs", "2", "pack", str(cli_fieldset_dir), str(archive), "--chunk", "24,24"]) == 0
         capsys.readouterr()
 
         # verify: flag accepted at the root and after the subcommand
@@ -224,7 +220,7 @@ class TestCLI:
         assert sorted(read_fieldset(dest).names) == ["CLDTOT", "FLNT", "FLNTC", "LWCF"]
 
     def test_chunk_worker_failure_reports_error_not_traceback(
-        self, tmp_path, small_cesm, capsys, monkeypatch
+        self, tmp_path, cli_fieldset_dir, capsys, monkeypatch
     ):
         # a codec crash inside a pool worker surfaces as a contextual CLI
         # error (exit 2), never an uncaught ChunkTaskError traceback
@@ -234,19 +230,12 @@ class TestCLI:
             raise ValueError("encode exploded")
 
         monkeypatch.setattr(SZChunkCodec, "encode", broken_encode)
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT"]), src)
-        assert main(["pack", str(src), str(tmp_path / "x.xfa"), "--chunk", "24,24"]) == 2
+        assert main(["pack", str(cli_fieldset_dir), str(tmp_path / "x.xfa"), "--chunk", "24,24"]) == 2
         err = capsys.readouterr().err
         assert "error: field 'FLNT' chunk 0: encode exploded" in err
 
-    def test_invalid_jobs_reports_error(self, tmp_path, small_cesm, capsys):
-        src = tmp_path / "fieldset"
-        write_fieldset(small_cesm.subset(["FLNT"]), src)
-        archive = tmp_path / "snap.xfa"
-        assert main(["pack", str(src), str(archive)]) == 0
-        capsys.readouterr()
-        assert main(["verify", str(archive), "--jobs", "0"]) == 2
+    def test_invalid_jobs_reports_error(self, cli_archive_master, capsys):
+        assert main(["verify", str(cli_archive_master), "--jobs", "0"]) == 2
         assert "jobs" in capsys.readouterr().err
 
     def test_unpack_preserves_float64_dtype(self, tmp_path, rng, capsys):
@@ -262,3 +251,172 @@ class TestCLI:
         restored = read_fieldset(dest)
         assert restored["x"].data.dtype == np.float64
         assert np.array_equal(restored["x"].data, data)
+
+
+class TestAppendSteps:
+    @pytest.fixture()
+    def step_dirs(self, tmp_path_factory, cesm_small):
+        """Two tiny correlated snapshots as fieldset directories."""
+        from repro.data.fields import Field, FieldSet
+
+        base_dir = tmp_path_factory.mktemp("steps")
+        dirs = []
+        for t in range(2):
+            snapshot = FieldSet(
+                [
+                    Field(name, cesm_small[name].data[:24, :32] + 0.01 * t)
+                    for name in ("FLNT", "FLNTC")
+                ],
+                name=f"step{t}",
+            )
+            dest = base_dir / f"step{t}"
+            write_fieldset(snapshot, dest)
+            dirs.append(dest)
+        return dirs
+
+    def test_append_create_steps_round_trip(self, tmp_path, step_dirs, capsys):
+        archive = tmp_path / "series.xfa"
+        # first append must demand --create for a fresh archive
+        assert main(["append", str(archive), str(step_dirs[0])]) == 2
+        assert "--create" in capsys.readouterr().err
+
+        assert main([
+            "append", str(archive), str(step_dirs[0]), "--create",
+            "--temporal", "delta", "--anchor-every", "2", "--time", "0.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "appended step 0" in out and "2 independent" in out
+
+        assert main([
+            "append", str(archive), str(step_dirs[1]),
+            "--temporal", "delta", "--anchor-every", "2", "--time", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "appended step 1" in out and "2 delta" in out
+
+        assert main(["steps", str(archive)]) == 0
+        table = capsys.readouterr().out
+        assert "delta/k=2" in table
+        assert " 0 " in table and " 1 " in table
+
+        assert main(["steps", str(archive), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["step"] for entry in payload] == [0, 1]
+        assert payload[1]["fields"]["FLNT"] == "FLNT@1"
+        assert payload[1]["compressed_nbytes"] > 0
+
+        # the delta-coded stored fields are visible in ls with their params
+        assert main(["ls", str(archive)]) == 0
+        listing = capsys.readouterr().out
+        assert "temporal-delta" in listing
+        assert "base=sz" in listing
+
+        assert main(["verify", str(archive), "--deep"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_append_without_flags_continues_recorded_cadence(self, tmp_path, step_dirs, capsys):
+        archive = tmp_path / "series.xfa"
+        assert main([
+            "append", str(archive), str(step_dirs[0]), "--create", "--anchor-every", "2",
+        ]) == 0
+        # no temporal flags: the append must keep k=2, not revert to a default
+        assert main(["append", str(archive), str(step_dirs[1])]) == 0
+        capsys.readouterr()
+        assert main(["steps", str(archive)]) == 0
+        table = capsys.readouterr().out
+        assert "delta/k=2" in table
+        assert "delta/k=8" not in table
+
+    def test_append_without_flags_continues_bound_and_codec(self, tmp_path, step_dirs, capsys):
+        from repro.store.reader import ArchiveReader
+
+        archive = tmp_path / "series.xfa"
+        assert main([
+            "append", str(archive), str(step_dirs[0]), "--create",
+            "--codec", "zfp", "--error-bound", "1e-5", "--anchor-every", "2",
+        ]) == 0
+        # a flagless append must not silently reset fidelity to the defaults
+        assert main(["append", str(archive), str(step_dirs[1])]) == 0
+        capsys.readouterr()
+        with ArchiveReader(archive) as reader:
+            first, second = reader.field("FLNT@0"), reader.field("FLNT@1")
+            assert first.codec == "zfp"
+            assert second.codec == "temporal-delta"
+            assert second.codec_params["base"] == "zfp"
+            assert second.error_bound == {"mode": "rel", "value": 1e-5}
+        assert main(["verify", str(archive), "--deep"]) == 0
+        capsys.readouterr()
+
+    def test_append_without_flags_continues_codec_params(self, tmp_path, step_dirs, capsys):
+        from repro.store.reader import ArchiveReader
+
+        archive = tmp_path / "series.xfa"
+        assert main([
+            "append", str(archive), str(step_dirs[0]), "--create", "--entropy", "zlib",
+        ]) == 0
+        # flagless append: the recorded entropy coder must carry over, not
+        # silently revert to the huffman default
+        assert main(["append", str(archive), str(step_dirs[1])]) == 0
+        capsys.readouterr()
+        with ArchiveReader(archive) as reader:
+            assert reader.field("FLNT@0").codec_params["entropy"] == "zlib"
+            delta = reader.field("FLNT@1")
+            assert delta.codec == "temporal-delta"
+            assert delta.codec_params["base_params"]["entropy"] == "zlib"
+        # an explicit --entropy wins over the recorded one
+        assert main(["append", str(archive), str(step_dirs[0]), "--step", "2",
+                     "--entropy", "huffman"]) == 0
+        capsys.readouterr()
+        with ArchiveReader(archive) as reader:
+            assert reader.field("FLNT@2").codec_params["base_params"]["entropy"] == "huffman"
+
+    def test_append_entropy_on_inherited_entropyless_codec_fails_cleanly(
+        self, tmp_path, step_dirs, capsys
+    ):
+        archive = tmp_path / "series.xfa"
+        assert main([
+            "append", str(archive), str(step_dirs[0]), "--create",
+            "--codec", "lossless", "--temporal", "none",
+        ]) == 0
+        capsys.readouterr()
+        # the inherited codec has no entropy stage: clean exit 2, no traceback
+        code = main(["append", str(archive), str(step_dirs[1]), "--entropy", "huffman"])
+        assert code == 2
+        assert "no entropy stage" in capsys.readouterr().err
+
+    def test_append_temporal_none_conflicts_with_cadence_flags(self, tmp_path, step_dirs, capsys):
+        code = main([
+            "append", str(tmp_path / "x.xfa"), str(step_dirs[0]), "--create",
+            "--temporal", "none", "--anchor-every", "4",
+        ])
+        assert code == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_steps_on_plain_archive(self, cli_archive_master, capsys):
+        assert main(["steps", str(cli_archive_master)]) == 0
+        assert "no timestep index" in capsys.readouterr().out
+
+    def test_append_recover_resumes_after_torn_tail(self, tmp_path, step_dirs, capsys):
+        archive = tmp_path / "series.xfa"
+        assert main(["append", str(archive), str(step_dirs[0]), "--create"]) == 0
+        assert main(["append", str(archive), str(step_dirs[1])]) == 0
+        capsys.readouterr()
+        good_size = archive.stat().st_size
+        with open(archive, "ab") as fh:
+            fh.write(b"\x00" * 17)  # torn tail from a crashed append
+
+        assert main(["steps", str(archive)]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["steps", str(archive), "--recover"]) == 0
+        recovered_table = capsys.readouterr().out
+        assert "delta/k=8" in recovered_table  # both flushed steps survive
+
+        assert main(["append", str(archive), str(step_dirs[1]), "--step", "2"]) == 2
+        capsys.readouterr()
+        assert main([
+            "append", str(archive), str(step_dirs[1]), "--step", "2", "--recover",
+        ]) == 0
+        assert "appended step 2" in capsys.readouterr().out
+        assert archive.stat().st_size > good_size
+        assert main(["verify", str(archive), "--deep"]) == 0
+        capsys.readouterr()
