@@ -19,15 +19,36 @@ configuration across cores — no more ``entropy="zlib"`` workaround.
 On machines with too few cores the speedup assertion is relaxed/skipped but
 parallel and serial results are still checked for bit-identity.
 
-``REPRO_BENCH_SCALE=smoke`` shrinks the grid for CI's quick mode.
+Runs standalone (``python benchmarks/bench_parallel_read.py [--quick]
+[--overhead-guard]``) or under pytest-benchmark; ``REPRO_BENCH_SCALE=smoke``
+matches ``--quick``.  Either way a machine-readable ``BENCH_parallel_read.json``
+report (headline timings plus a telemetry snapshot from one instrumented pass)
+is written via :func:`conftest.bench_report`.
+
+``--overhead-guard`` additionally asserts the observability tax: with
+telemetry *disabled* (the default recorder is a no-op), total measured time
+must stay within ``REPRO_BENCH_OVERHEAD_TOL`` (default 2%) of the
+pre-instrumentation baseline committed in
+``benchmarks/baselines/bench_parallel_read.baseline.json``.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 
-from conftest import bench_seed, run_once
+if __name__ == "__main__":  # standalone: make conftest + repro importable
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from conftest import bench_report, bench_seed, run_once
+
+#: Pre-instrumentation timing baseline for the disabled-telemetry overhead guard.
+_BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "bench_parallel_read.baseline.json"
 
 #: Grid sizes per REPRO_BENCH_SCALE; all give multi-chunk fields on a 64x64
 #: tile (heavy enough per task that pool dispatch overhead is noise).
@@ -86,9 +107,64 @@ def _measure(path, repeats=3):
     return {"timings": timings, "fields": fields, "n_chunks": n_chunks}
 
 
-def test_parallel_read(benchmark, tmp_path):
-    path = _build_archive(tmp_path)
-    result = run_once(benchmark, _measure, path)
+def _telemetry_snapshot(path):
+    """One instrumented (non-timed) pass; returns its telemetry snapshot.
+
+    Runs *after* the timing measurements so the no-op-recorder numbers stay
+    clean; the snapshot documents the workload's stage breakdown (io/crc/
+    decode split, cache traffic, per-codec bytes) in the benchmark report.
+    """
+    from repro import obs
+    from repro.store import ArchiveReader
+
+    recorder = obs.Recorder()
+    previous = obs.set_recorder(recorder)
+    try:
+        with ArchiveReader(path, jobs=_PARALLEL_JOBS) as reader:
+            for name in reader.names:
+                reader.read_field(name)
+            assert reader.verify(deep=True)["ok"]
+    finally:
+        obs.set_recorder(previous)
+    return recorder.snapshot()
+
+
+def _check_overhead(timings, report):
+    """Disabled-telemetry overhead guard against the committed baseline."""
+    baseline = json.loads(_BASELINE_PATH.read_text(encoding="utf-8"))
+    tolerance = float(os.environ.get("REPRO_BENCH_OVERHEAD_TOL", "0.02"))
+    expected_scale = baseline.get("scale", "smoke")
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if scale != expected_scale:
+        raise SystemExit(
+            f"overhead guard compares against a {expected_scale!r}-scale baseline; "
+            f"run with REPRO_BENCH_SCALE={expected_scale} (or --quick)"
+        )
+    base = baseline["timings_seconds"]
+    measured_total = sum(timings[key] for key in base)
+    baseline_total = sum(base.values())
+    overhead = measured_total / baseline_total - 1.0
+    print(
+        f"overhead guard: measured {measured_total * 1e3:.1f} ms vs "
+        f"pre-instrumentation baseline {baseline_total * 1e3:.1f} ms "
+        f"({overhead:+.1%}, tolerance {tolerance:.0%})"
+    )
+    report["overhead_guard"] = {
+        "measured_total_seconds": measured_total,
+        "baseline_total_seconds": baseline_total,
+        "overhead_fraction": overhead,
+        "tolerance": tolerance,
+    }
+    assert overhead <= tolerance, (
+        f"disabled-telemetry overhead {overhead:+.1%} exceeds the {tolerance:.0%} "
+        f"budget over the pre-instrumentation baseline ({_BASELINE_PATH})"
+    )
+
+
+def _report_and_assert(result, overhead_guard=False):
+    from repro import obs
+
+    assert not obs.enabled(), "timing arms must run with telemetry disabled"
     timings = result["timings"]
 
     print("\n=== Archive store: parallel chunk decode (read path, huffman entropy) ===")
@@ -99,6 +175,14 @@ def test_parallel_read(benchmark, tmp_path):
             f"{op:<12} serial {serial * 1e3:9.3f} ms   parallel {parallel * 1e3:9.3f} ms   "
             f"speedup {serial / max(parallel, 1e-9):.2f}x"
         )
+
+    headline = {
+        "timings_seconds": dict(timings),
+        "n_chunks": result["n_chunks"],
+        "parallel_jobs": _PARALLEL_JOBS,
+    }
+    if overhead_guard:
+        _check_overhead(timings, headline)
 
     # parallel assembly must be bit-identical to the serial reference
     for name, serial_data in result["fields"]["serial"].items():
@@ -116,3 +200,44 @@ def test_parallel_read(benchmark, tmp_path):
         # at-least-parity so a scheduling regression still fails the build
         assert timings["read-field/parallel"] < 1.1 * timings["read-field/serial"]
         assert timings["verify-deep/parallel"] < 1.1 * timings["verify-deep/serial"]
+    return headline
+
+
+def test_parallel_read(benchmark, tmp_path):
+    path = _build_archive(tmp_path)
+    result = run_once(benchmark, _measure, path)
+    headline = _report_and_assert(result)
+    bench_report("parallel_read", headline, telemetry=_telemetry_snapshot(path))
+
+
+if __name__ == "__main__":
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-scale run (equivalent to REPRO_BENCH_SCALE=smoke)",
+    )
+    parser.add_argument(
+        "--overhead-guard", action="store_true",
+        help="assert disabled-telemetry timings stay within "
+        "REPRO_BENCH_OVERHEAD_TOL (default 2%%) of the committed "
+        "pre-instrumentation baseline",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="best-of repeats per timing arm (default: 5)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.quick:
+        os.environ["REPRO_BENCH_SCALE"] = "smoke"
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = _build_archive(Path(tmp))
+        measured = _measure(archive, repeats=cli_args.repeats)
+        headline = _report_and_assert(measured, overhead_guard=cli_args.overhead_guard)
+        report_path = bench_report(
+            "parallel_read", headline, telemetry=_telemetry_snapshot(archive)
+        )
+    print(f"report: {report_path}")
+    print("ok")

@@ -7,6 +7,9 @@ distribution.  Set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``default`` / ``paper``
 to control the dataset sizes (default: ``default``).
 """
 
+import json
+import os
+import platform
 import sys
 import zlib
 from pathlib import Path
@@ -44,3 +47,34 @@ def bench_scale():
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def bench_report(name: str, headline: dict, telemetry=None) -> Path:
+    """Write a machine-readable ``BENCH_<name>.json`` benchmark report.
+
+    ``headline`` carries the benchmark's summary numbers (timings, ratios,
+    chunk counts); ``telemetry`` is an optional
+    :class:`repro.obs.TelemetrySnapshot` embedded under ``"telemetry"`` in its
+    ``repro-telemetry/1`` JSON form.  Reports land in ``benchmarks/reports/``
+    (override with ``REPRO_BENCH_REPORT_DIR``); CI uploads them as artifacts.
+    """
+    out_dir = Path(
+        os.environ.get("REPRO_BENCH_REPORT_DIR", Path(__file__).resolve().parent / "reports")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": "repro-bench/1",
+        "name": name,
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "default"),
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "headline": headline,
+    }
+    if telemetry is not None:
+        document["telemetry"] = telemetry.to_dict()
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

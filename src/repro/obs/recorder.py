@@ -1,0 +1,563 @@
+"""Thread-safe telemetry recorder: counters, gauges, histograms, trace spans.
+
+One :class:`Recorder` accumulates every metric the stack emits; a module-level
+registry (:func:`get_recorder` / :func:`set_recorder` / :func:`enable` /
+:func:`disable`) decides whether that recorder is a real one or the
+:class:`NullRecorder` — a true no-op whose methods do nothing, so instrumented
+hot paths cost a couple of attribute lookups when telemetry is off.  Telemetry
+is enabled through the API, the ``REPRO_TELEMETRY`` environment variable
+(checked at import), or the ``repro`` CLI's global ``--profile`` flag.
+
+Metric kinds
+------------
+- **Counters** (:meth:`Recorder.count`): monotonically growing totals — bytes
+  read, chunks decoded, cache hits.  Exact under concurrency.
+- **Gauges** (:meth:`Recorder.gauge`): last-write-wins point-in-time values —
+  cache occupancy.
+- **Histograms** (:meth:`Recorder.observe`): log2-bucketed latency/size
+  distributions with exact ``count``/``sum``/``min``/``max``; buckets make
+  p50/p95 estimation cheap without storing samples.
+- **Spans** (:meth:`Recorder.span`): nestable wall-clock intervals, recorded
+  with thread/process ids for Chrome-trace timeline export and *also* folded
+  into the histogram of the same name, so every span shows up in the stage
+  table.  :meth:`Recorder.timer` is the histogram-only variant for hot paths
+  that do not need a timeline entry.
+
+Snapshots (:meth:`Recorder.snapshot`) are plain-dataclass
+:class:`TelemetrySnapshot` objects: picklable (process workers ship their
+deltas back with task results) and mergeable (:meth:`TelemetrySnapshot.merge`
+adds counters/histograms and concatenates spans), which is how the
+:class:`~repro.parallel.engine.ChunkScheduler` aggregates worker telemetry in
+the parent.
+
+Span timestamps come from ``time.perf_counter()``; on Linux that is
+``CLOCK_MONOTONIC``, which is system-wide, so spans shipped from forked worker
+processes land on the same timeline as the parent's.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Histogram",
+    "NullRecorder",
+    "Recorder",
+    "SpanRecord",
+    "TelemetrySnapshot",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "get_recorder",
+    "observe",
+    "set_recorder",
+    "span",
+    "timer",
+]
+
+#: Finest histogram bucket boundary (seconds / units).  Values at or below it
+#: land in bucket 0; bucket ``i`` covers ``(RESOLUTION * 2**(i-1), RESOLUTION * 2**i]``.
+BUCKET_RESOLUTION = 1e-6
+
+#: Spans kept per recorder; beyond this they are dropped (and counted under
+#: the ``obs.spans_dropped`` counter) so a long soak cannot grow memory
+#: without bound.
+MAX_SPANS = 100_000
+
+
+def bucket_index(value: float) -> int:
+    """Log2 bucket index of ``value`` (0 for values <= :data:`BUCKET_RESOLUTION`)."""
+    if value <= BUCKET_RESOLUTION:
+        return 0
+    return max(0, math.ceil(math.log2(value / BUCKET_RESOLUTION)))
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper bound of bucket ``index``."""
+    return BUCKET_RESOLUTION * (2.0 ** index)
+
+
+@dataclass
+class Histogram:
+    """Log2-bucketed distribution with exact count/sum/min/max.
+
+    ``buckets`` maps bucket index to observation count; quantiles are
+    estimated from bucket upper bounds (an over-estimate by at most 2x, which
+    is what log-bucketing trades for O(1) memory).
+    """
+
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = 0.0
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (bucket upper bound; exact min/max at 0/1)."""
+        if not self.count:
+            return 0.0
+        if q <= 0:
+            return self.min
+        if q >= 1:
+            return self.max
+        target = q * self.count
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return min(bucket_upper_bound(index), self.max)
+        return self.max  # pragma: no cover - float edge
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "buckets": {str(index): n for index, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Histogram":
+        hist = cls(
+            count=int(data["count"]),
+            sum=float(data["sum"]),
+            min=float(data["min"]) if int(data["count"]) else math.inf,
+            max=float(data["max"]),
+            buckets={int(index): int(n) for index, n in data.get("buckets", {}).items()},
+        )
+        return hist
+
+
+@dataclass
+class SpanRecord:
+    """One completed trace span (Chrome-trace ``"X"`` event shape)."""
+
+    name: str
+    start: float  #: perf_counter seconds at entry
+    duration: float  #: seconds
+    pid: int
+    tid: int
+    depth: int = 0  #: nesting depth within its thread at entry
+    args: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "pid": self.pid,
+            "tid": self.tid,
+            "depth": self.depth,
+            "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SpanRecord":
+        return cls(
+            name=str(data["name"]),
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            pid=int(data["pid"]),
+            tid=int(data["tid"]),
+            depth=int(data.get("depth", 0)),
+            args=dict(data.get("args", {})),
+        )
+
+
+#: JSON schema tag for serialized snapshots (``--profile-json``, bench files).
+SNAPSHOT_SCHEMA = "repro-telemetry/1"
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Immutable-by-convention copy of a recorder's state.
+
+    Plain dicts and dataclasses throughout: picklable (ships across the
+    process boundary with scheduler task results) and JSON-serialisable via
+    :meth:`to_dict`.  :meth:`merge` folds another snapshot in, in place.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    spans: List[SpanRecord] = field(default_factory=list)
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Fold ``other`` into this snapshot (sums, bucket adds, span concat)."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram(
+                    count=hist.count, sum=hist.sum, min=hist.min, max=hist.max,
+                    buckets=dict(hist.buckets),
+                )
+            else:
+                mine.merge(hist)
+        self.spans.extend(other.spans)
+        return self
+
+    def counter(self, name: str) -> float:
+        """Value of one counter (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms or self.spans)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict() for name, hist in sorted(self.histograms.items())
+            },
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TelemetrySnapshot":
+        schema = data.get("schema", SNAPSHOT_SCHEMA)
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported telemetry snapshot schema {schema!r} "
+                f"(this build reads {SNAPSHOT_SCHEMA!r})"
+            )
+        return cls(
+            counters={str(k): v for k, v in data.get("counters", {}).items()},
+            gauges={str(k): float(v) for k, v in data.get("gauges", {}).items()},
+            histograms={
+                str(k): Histogram.from_dict(v)
+                for k, v in data.get("histograms", {}).items()
+            },
+            spans=[SpanRecord.from_dict(s) for s in data.get("spans", [])],
+        )
+
+
+class _SpanContext:
+    """Context manager recording one span (and its histogram observation)."""
+
+    __slots__ = ("_recorder", "_name", "_args", "_start", "_depth")
+
+    def __init__(self, recorder: "Recorder", name: str, args: Dict) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_SpanContext":
+        local = self._recorder._span_local
+        self._depth = getattr(local, "depth", 0)
+        local.depth = self._depth + 1
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        self._recorder._span_local.depth = self._depth
+        self._recorder._record_span(
+            SpanRecord(
+                name=self._name,
+                start=self._start,
+                duration=duration,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                depth=self._depth,
+                args=self._args,
+            )
+        )
+        self._recorder.observe(self._name, duration)
+
+
+class _TimerContext:
+    """Histogram-only timing context (no span record; for hot paths)."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._recorder.observe(self._name, time.perf_counter() - self._start)
+
+
+class Recorder:
+    """Accumulates telemetry; every method is safe to call from any thread."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = MAX_SPANS) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._spans: List[SpanRecord] = []
+        self._max_spans = int(max_spans)
+        self._span_local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def span(self, name: str, **args) -> _SpanContext:
+        """Context manager timing a nestable span named ``name``.
+
+        The span lands in the trace export *and* in the histogram of the same
+        name; ``args`` become Chrome-trace event arguments.
+        """
+        return _SpanContext(self, name, args)
+
+    def timer(self, name: str) -> _TimerContext:
+        """Context manager observing elapsed seconds into histogram ``name``."""
+        return _TimerContext(self, name)
+
+    def _record_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) >= self._max_spans:
+                self._counters["obs.spans_dropped"] = (
+                    self._counters.get("obs.spans_dropped", 0) + 1
+                )
+                return
+            self._spans.append(record)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> float:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def merge_snapshot(self, snapshot: TelemetrySnapshot) -> None:
+        """Fold a (worker-shipped) snapshot into this recorder's state."""
+        with self._lock:
+            for name, value in snapshot.counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(snapshot.gauges)
+            for name, hist in snapshot.histograms.items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    self._histograms[name] = Histogram(
+                        count=hist.count, sum=hist.sum, min=hist.min, max=hist.max,
+                        buckets=dict(hist.buckets),
+                    )
+                else:
+                    mine.merge(hist)
+            room = self._max_spans - len(self._spans)
+            if len(snapshot.spans) > room:
+                self._counters["obs.spans_dropped"] = (
+                    self._counters.get("obs.spans_dropped", 0)
+                    + len(snapshot.spans) - room
+                )
+            self._spans.extend(snapshot.spans[:room])
+
+    def snapshot(self, reset: bool = False) -> TelemetrySnapshot:
+        """Deep-copied snapshot of the current state; ``reset`` clears after."""
+        with self._lock:
+            snap = TelemetrySnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={
+                    name: Histogram(
+                        count=h.count, sum=h.sum, min=h.min, max=h.max,
+                        buckets=dict(h.buckets),
+                    )
+                    for name, h in self._histograms.items()
+                },
+                spans=list(self._spans),
+            )
+            if reset:
+                self._counters.clear()
+                self._gauges.clear()
+                self._histograms.clear()
+                self._spans.clear()
+        return snap
+
+    def reset(self) -> None:
+        """Drop all accumulated state."""
+        self.snapshot(reset=True)
+
+
+class _NullContext:
+    """Shared no-op context manager returned by :class:`NullRecorder`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRecorder:
+    """The disabled recorder: every method is a no-op.
+
+    Instrumented code may call any recording method unconditionally; with the
+    null recorder installed the cost is one method call returning immediately
+    (and a shared no-op context manager for :meth:`span` / :meth:`timer`).
+    """
+
+    enabled = False
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def span(self, name: str, **args) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def timer(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def counter(self, name: str) -> float:
+        return 0
+
+    def snapshot(self, reset: bool = False) -> TelemetrySnapshot:
+        return TelemetrySnapshot()
+
+    def merge_snapshot(self, snapshot: TelemetrySnapshot) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# module-level registry
+# --------------------------------------------------------------------------- #
+_NULL_RECORDER = NullRecorder()
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+    return value not in ("", "0", "false", "off", "no")
+
+
+_recorder = Recorder() if _env_enabled() else _NULL_RECORDER
+_registry_lock = threading.Lock()
+
+
+def get_recorder():
+    """The currently installed recorder (the no-op one when disabled)."""
+    return _recorder
+
+
+def set_recorder(recorder):
+    """Install ``recorder`` as the global recorder; returns the previous one."""
+    global _recorder
+    with _registry_lock:
+        previous = _recorder
+        _recorder = recorder
+    return previous
+
+
+def enabled() -> bool:
+    """Whether the installed global recorder actually records."""
+    return _recorder.enabled
+
+
+def enable(recorder: Optional[Recorder] = None) -> Recorder:
+    """Install a real recorder (keeping the current one if already enabled).
+
+    Returns the active :class:`Recorder` so callers can snapshot it later.
+    """
+    global _recorder
+    with _registry_lock:
+        if recorder is not None:
+            _recorder = recorder
+        elif not _recorder.enabled:
+            _recorder = Recorder()
+        return _recorder
+
+
+def disable() -> None:
+    """Swap the no-op recorder back in (accumulated state is discarded)."""
+    set_recorder(_NULL_RECORDER)
+
+
+# Convenience delegates: one global lookup per call.  Hot loops should grab
+# ``get_recorder()`` once instead.
+def count(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` on the global recorder."""
+    _recorder.count(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into histogram ``name`` on the global recorder."""
+    _recorder.observe(name, value)
+
+
+def span(name: str, **args):
+    """Nestable trace span on the global recorder (no-op when disabled)."""
+    return _recorder.span(name, **args)
+
+
+def timer(name: str):
+    """Histogram-only timing context on the global recorder."""
+    return _recorder.timer(name)

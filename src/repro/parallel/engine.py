@@ -36,9 +36,11 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs import recorder as _obs
 from repro.utils.validation import ensure_in
 
 __all__ = ["SCHEDULER_KINDS", "ChunkScheduler", "ChunkTaskError", "default_jobs"]
@@ -67,6 +69,59 @@ class ChunkTaskError(RuntimeError):
         super().__init__(f"{context}: {original}")
         self.context = context
         self.original = original
+
+
+class _ShippedResult:
+    """A task result travelling with the worker's telemetry delta.
+
+    Process workers cannot record into the parent's recorder, so the task
+    wrapper snapshots a worker-local recorder after each task and ships the
+    delta alongside the result; the parent merges it at collection time.
+    """
+
+    __slots__ = ("result", "telemetry")
+
+    def __init__(self, result, telemetry) -> None:
+        self.result = result
+        self.telemetry = telemetry
+
+
+class _TelemetryTask:
+    """Wraps a task callable with queue-wait/duration metrics (picklable).
+
+    Called as ``task(item, submitted)`` where ``submitted`` is the submitting
+    thread's ``perf_counter()``; on Linux ``perf_counter`` is the system-wide
+    ``CLOCK_MONOTONIC``, so the queue-wait measurement also holds across the
+    process boundary.  With ``ship=True`` (process backend) the task runs
+    against a fresh worker-local recorder — never the recorder state a forked
+    child inherited, which the parent already owns — and returns a
+    :class:`_ShippedResult` carrying the per-task delta.
+    """
+
+    __slots__ = ("func", "ship")
+
+    def __init__(self, func: Callable, ship: bool) -> None:
+        self.func = func
+        self.ship = ship
+
+    def __call__(self, item, submitted: float):
+        if self.ship:
+            local = _obs.Recorder()
+            previous = _obs.set_recorder(local)
+            try:
+                result = self._run(local, item, submitted)
+            finally:
+                _obs.set_recorder(previous)
+            return _ShippedResult(result, local.snapshot())
+        return self._run(_obs.get_recorder(), item, submitted)
+
+    def _run(self, recorder, item, submitted: float):
+        start = time.perf_counter()
+        recorder.observe("scheduler.queue_wait_seconds", max(0.0, start - submitted))
+        result = self.func(item)
+        recorder.observe("scheduler.task_seconds", time.perf_counter() - start)
+        recorder.count("scheduler.tasks")
+        return result
 
 
 class ChunkScheduler:
@@ -147,9 +202,11 @@ class ChunkScheduler:
         configuration errors.
         """
         items = list(items)
-        if self.is_serial(len(items)):
-            return self._serial_iter(func, items, context)
-        return self._imap_ordered(func, items, context)
+        serial = self.is_serial(len(items))
+        task = self._instrument(func, serial)
+        if serial:
+            return self._serial_iter(func, items, context, task)
+        return self._imap_ordered(func, items, context, task)
 
     def imap_unordered(
         self, func, items: Iterable, context: Optional[ContextFn] = None
@@ -163,9 +220,14 @@ class ChunkScheduler:
         :meth:`imap` when results must stream to an ordered sink.
         """
         items = list(items)
-        if self.is_serial(len(items)):
-            return ((i, result) for i, result in enumerate(self._serial_iter(func, items, context)))
-        return self._imap_unordered(func, items, context)
+        serial = self.is_serial(len(items))
+        task = self._instrument(func, serial)
+        if serial:
+            return (
+                (i, result)
+                for i, result in enumerate(self._serial_iter(func, items, context, task))
+            )
+        return self._imap_unordered(func, items, context, task)
 
     # ------------------------------------------------------------------ #
     # backends
@@ -191,6 +253,26 @@ class ChunkScheduler:
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 
+    def _instrument(self, func: Callable, serial: bool) -> Optional[_TelemetryTask]:
+        """The telemetry task wrapper for one call, or ``None`` when disabled.
+
+        Serial execution records directly into the global recorder (delta
+        shipping would only copy state within one process); a process pool
+        ships per-task deltas instead.  With telemetry disabled the raw
+        ``func`` runs unwrapped — the instrumented path costs nothing.
+        """
+        if not _obs.enabled():
+            return None
+        return _TelemetryTask(func, ship=not serial and self.executor_kind == "process")
+
+    @staticmethod
+    def _unwrap(result):
+        """Merge a shipped worker delta into the global recorder, if present."""
+        if isinstance(result, _ShippedResult):
+            _obs.get_recorder().merge_snapshot(result.telemetry)
+            return result.result
+        return result
+
     @staticmethod
     def _wrap_error(
         exc: BaseException, index: int, item, context: Optional[ContextFn]
@@ -200,27 +282,34 @@ class ChunkScheduler:
             return exc
         return ChunkTaskError(context(index, item), exc)
 
-    def _serial_iter(self, func, items, context) -> Iterator:
+    def _serial_iter(self, func, items, context, task=None) -> Iterator:
         for index, item in enumerate(items):
             try:
-                yield func(item)
+                if task is not None:
+                    yield self._unwrap(task(item, time.perf_counter()))
+                else:
+                    yield func(item)
             except Exception as exc:
                 wrapped = self._wrap_error(exc, index, item, context)
                 if wrapped is exc:
                     raise
                 raise wrapped from exc
 
-    def _imap_ordered(self, func, items, context) -> Iterator:
+    def _imap_ordered(self, func, items, context, task=None) -> Iterator:
+        if task is None:
+            submit = lambda item: pool.submit(func, item)  # noqa: E731
+        else:
+            submit = lambda item: pool.submit(task, item, time.perf_counter())  # noqa: E731
         window = self.window_factor * self.effective_jobs
         pool, owned = self._acquire_pool()
         try:
             pending = deque(
-                (i, items[i], pool.submit(func, items[i])) for i in range(min(window, len(items)))
+                (i, items[i], submit(items[i])) for i in range(min(window, len(items)))
             )
             try:
                 for i in range(window, len(items)):
                     yield self._collect(pending.popleft(), context)
-                    pending.append((i, items[i], pool.submit(func, items[i])))
+                    pending.append((i, items[i], submit(items[i])))
                 while pending:
                     yield self._collect(pending.popleft(), context)
             except BaseException:
@@ -237,10 +326,18 @@ class ChunkScheduler:
             if owned:
                 pool.shutdown(wait=True)
 
-    def _imap_unordered(self, func, items, context) -> Iterator[Tuple[int, Any]]:
+    def _imap_unordered(self, func, items, context, task=None) -> Iterator[Tuple[int, Any]]:
         pool, owned = self._acquire_pool()
         try:
-            futures = {pool.submit(func, item): (i, item) for i, item in enumerate(items)}
+            if task is None:
+                futures = {
+                    pool.submit(func, item): (i, item) for i, item in enumerate(items)
+                }
+            else:
+                futures = {
+                    pool.submit(task, item, time.perf_counter()): (i, item)
+                    for i, item in enumerate(items)
+                }
             pending = set(futures)
             try:
                 while pending:
@@ -267,7 +364,7 @@ class ChunkScheduler:
     def _collect(self, task: Tuple[int, Any, concurrent.futures.Future], context):
         index, item, future = task
         try:
-            return future.result()
+            return self._unwrap(future.result())
         except Exception as exc:
             wrapped = self._wrap_error(exc, index, item, context)
             if wrapped is exc:

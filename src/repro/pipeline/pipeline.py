@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.data.fields import Field, FieldSet
+from repro.obs import recorder as _obs
 from repro.pipeline.config import FieldRule, PipelineConfig, PipelineConfigError
 from repro.store.manifest import FieldEntry
 from repro.store.reader import ArchiveReader
@@ -225,17 +226,22 @@ class CompressionPipeline:
             entries: List[FieldEntry] = []
             for name in ordered:
                 rule = config.rule_for(name)
-                entries.append(
-                    writer.add_field(
-                        name,
-                        fieldset[name].data,
-                        codec=config.codec_for(name),
-                        error_bound=config.error_bound_for(name),
-                        chunk_shape=rule.chunk_shape,
-                        anchors=rule.anchors,
-                        **rule.codec_params,
+                with _obs.span(
+                    "pipeline.compress.field_seconds",
+                    field=name,
+                    codec=config.codec_for(name),
+                ):
+                    entries.append(
+                        writer.add_field(
+                            name,
+                            fieldset[name].data,
+                            codec=config.codec_for(name),
+                            error_bound=config.error_bound_for(name),
+                            chunk_shape=rule.chunk_shape,
+                            anchors=rule.anchors,
+                            **rule.codec_params,
+                        )
                     )
-                )
         seconds = time.perf_counter() - start
         return PipelineResult(
             archive=Path(path),
@@ -408,8 +414,12 @@ class CompressionPipeline:
         """
         with self._open_reader(path) as reader:
             names = list(fields) if fields is not None else reader.names
+            decoded: List[Field] = []
+            for name in names:
+                with _obs.span("pipeline.decompress.field_seconds", field=name):
+                    decoded.append(Field(name, reader.read_field(name)))
             restored = FieldSet(
-                [Field(name, reader.read_field(name)) for name in names],
+                decoded,
                 name=str(reader.attrs.get("dataset", Path(path).stem)),
             )
         return restored
@@ -422,7 +432,8 @@ class CompressionPipeline:
         through the shared execution engine (``jobs`` / ``executor_kind``).
         """
         with self._open_reader(path) as reader:
-            return reader.verify(deep=deep)
+            with _obs.span("pipeline.verify_seconds", deep=deep):
+                return reader.verify(deep=deep)
 
     def _open_reader(self, path: PathLike) -> ArchiveReader:
         """An :class:`ArchiveReader` wired to the config's engine knobs."""

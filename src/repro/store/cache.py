@@ -92,6 +92,7 @@ class LRUChunkCache:
         self._entries.clear()
         self._nbytes = 0
 
+    @property
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters plus current occupancy."""
         return {

@@ -560,6 +560,68 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# telemetry flags
+# --------------------------------------------------------------------------- #
+def _add_profile_arguments(parser: argparse.ArgumentParser, root: bool) -> None:
+    """Attach the global telemetry flags (also accepted after the subcommand).
+
+    Like ``--jobs``, each flag is declared on the root parser with its real
+    default and on the shared subcommand parent with ``SUPPRESS``, so a value
+    parsed at either position wins and the subparser never clobbers the root.
+    """
+    flag_default = False if root else argparse.SUPPRESS
+    path_default = None if root else argparse.SUPPRESS
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        default=flag_default,
+        help="collect telemetry and print a per-stage timing table (stderr)",
+    )
+    parser.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=path_default,
+        help="collect telemetry and write the full snapshot as JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=path_default,
+        help="collect telemetry and write trace spans as a Chrome-trace JSON "
+        "file to PATH (open in chrome://tracing or Perfetto)",
+    )
+
+
+def _profiling_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "profile", False)
+        or getattr(args, "profile_json", None)
+        or getattr(args, "trace", None)
+    )
+
+
+def _report_profiling(args: argparse.Namespace, recorder) -> None:
+    """Emit the collected telemetry in every requested shape.
+
+    Runs even when the command failed — a partial profile of a failing run is
+    exactly what one wants for diagnosis.  The stage table goes to stderr so
+    ``--json`` subcommand output on stdout stays machine-parseable.
+    """
+    from repro.obs import format_stage_table, write_chrome_trace, write_snapshot_json
+
+    snapshot = recorder.snapshot()
+    if getattr(args, "profile", False):
+        table = format_stage_table(snapshot, title=f"telemetry: repro {args.command}")
+        print(table if table else "== telemetry: no metrics recorded ==", file=sys.stderr)
+    json_path = getattr(args, "profile_json", None)
+    if json_path:
+        write_snapshot_json(snapshot, json_path)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        write_chrome_trace(snapshot, trace_path)
+
+
+# --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -573,12 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
         "decompression; default: auto-sized to the machine, 1 = serial)"
     )
     parser.add_argument("-j", "--jobs", type=int, default=None, metavar="N", help=jobs_help)
+    _add_profile_arguments(parser, root=True)
     # the same flag is accepted after the subcommand (`repro verify a.xfa -j4`);
     # SUPPRESS keeps the subparser from clobbering a value parsed at the root
     jobs_parent = argparse.ArgumentParser(add_help=False)
     jobs_parent.add_argument(
         "-j", "--jobs", type=int, default=argparse.SUPPRESS, metavar="N", help=jobs_help
     )
+    _add_profile_arguments(jobs_parent, root=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
     pack = sub.add_parser("pack", help="compress a fieldset into an archive", parents=[jobs_parent])
@@ -733,6 +797,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    recorder = previous = None
+    if _profiling_requested(args):
+        from repro import obs
+
+        # A fresh recorder per invocation: the profile covers exactly this
+        # command, even when REPRO_TELEMETRY already installed a global one.
+        recorder = obs.Recorder()
+        previous = obs.set_recorder(recorder)
     try:
         return args.func(args)
     except (ValueError, OSError, KeyError, ChunkTaskError) as exc:
@@ -745,6 +817,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            from repro import obs
+
+            obs.set_recorder(previous)
+            _report_profiling(args, recorder)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CLI docs

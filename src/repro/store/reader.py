@@ -24,12 +24,14 @@ from __future__ import annotations
 import inspect
 import os
 import threading
+import time
 import zlib
 from pathlib import Path
 from typing import BinaryIO, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import recorder as _obs
 from repro.parallel.engine import ChunkScheduler
 from repro.store.cache import DEFAULT_CACHE_BYTES, LRUChunkCache
 from repro.store.codecs import Codec, get_codec
@@ -77,10 +79,22 @@ class ChunkFetcher:
         # the writer, which takes it around its own appends to the handle.
         self.io_lock = threading.Lock()
         self._cache_lock = threading.Lock()
-        #: Number of actual codec decodes performed (cache hits excluded).
-        self.chunks_decoded = 0
-        #: Total payload bytes read from disk.
-        self.bytes_read = 0
+        # Per-instance accounting recorder: always on, backs the public
+        # ``chunks_decoded`` / ``bytes_read`` properties and ``cache_stats``.
+        # The *global* recorder additionally receives stage timings and cache
+        # hit/miss counts, but only when telemetry is enabled (its methods are
+        # no-ops otherwise).
+        self.telemetry = _obs.Recorder()
+
+    @property
+    def chunks_decoded(self) -> int:
+        """Number of actual codec decodes performed (cache hits excluded)."""
+        return int(self.telemetry.counter("store.read.chunks_decoded"))
+
+    @property
+    def bytes_read(self) -> int:
+        """Total payload bytes read from disk."""
+        return int(self.telemetry.counter("store.read.bytes_in"))
 
     def codec_for(self, entry: FieldEntry) -> Codec:
         """Instantiate (once) the codec recorded in a field entry."""
@@ -115,16 +129,23 @@ class ChunkFetcher:
 
     def read_payload(self, entry: FieldEntry, chunk: ChunkEntry) -> bytes:
         """Read one chunk's raw payload and verify its CRC."""
+        recorder = _obs.get_recorder()
+        io_start = time.perf_counter()
         with self.io_lock:
             self._fh.seek(chunk.offset)
             payload = self._fh.read(chunk.length)
-            self.bytes_read += len(payload)
+        recorder.observe("store.read.io_seconds", time.perf_counter() - io_start)
+        self.telemetry.count("store.read.bytes_in", len(payload))
+        recorder.count("store.read.bytes_in", len(payload))
         if len(payload) != chunk.length:
             raise ArchiveCorruptionError(
                 f"field {entry.name!r} chunk {chunk.index}: archive truncated "
                 f"(wanted {chunk.length} bytes at offset {chunk.offset}, got {len(payload)})"
             )
-        if (zlib.crc32(payload) & 0xFFFFFFFF) != chunk.crc32:
+        crc_start = time.perf_counter()
+        crc_ok = (zlib.crc32(payload) & 0xFFFFFFFF) == chunk.crc32
+        recorder.observe("store.read.crc_seconds", time.perf_counter() - crc_start)
+        if not crc_ok:
             raise ArchiveCorruptionError(
                 f"field {entry.name!r} chunk {chunk.index}: CRC mismatch, chunk is corrupted"
             )
@@ -151,18 +172,23 @@ class ChunkFetcher:
         once per pass even when several cross-field targets share it as an
         anchor).
         """
+        recorder = _obs.get_recorder()
         key = (name, int(index))
         if refresh and _fresh is not None and key in _fresh:
             with self._cache_lock:
                 cached = self.cache.get(key)
             if cached is not None:
+                recorder.count("store.cache.hits")
                 return cached
+            recorder.count("store.cache.misses")
             # evicted since it was verified: fall through to a fresh decode
         if not refresh:
             with self._cache_lock:
                 cached = self.cache.get(key)
             if cached is not None:
+                recorder.count("store.cache.hits")
                 return cached
+            recorder.count("store.cache.misses")
         entry = self._lookup(name)
         if not 0 <= index < len(entry.chunks):
             raise ArchiveCorruptionError(
@@ -184,7 +210,14 @@ class ChunkFetcher:
                 self.get_chunk(anchor, index, refresh=refresh, scheduler=scheduler, _fresh=_fresh)
                 for anchor in entry.anchors
             ]
+        decode_start = time.perf_counter()
         decoded = self._decode_with(self.codec_for(entry), payload, anchors, scheduler)
+        decode_seconds = time.perf_counter() - decode_start
+        recorder.observe("store.read.decode_seconds", decode_seconds)
+        if recorder.enabled:
+            recorder.observe(f"store.codec.{entry.codec}.decode_seconds", decode_seconds)
+            recorder.count(f"store.codec.{entry.codec}.bytes_in", len(payload))
+            recorder.count(f"store.codec.{entry.codec}.bytes_out", int(decoded.nbytes))
         expected_dtype = np.dtype(entry.dtype)
         if decoded.shape != chunk.shape:
             raise ArchiveCorruptionError(
@@ -194,8 +227,14 @@ class ChunkFetcher:
         if decoded.dtype != expected_dtype:
             decoded = decoded.astype(expected_dtype)
         with self._cache_lock:
+            evictions_before = self.cache.evictions
             self.cache.put(key, decoded)
-            self.chunks_decoded += 1
+            evicted = self.cache.evictions - evictions_before
+        self.telemetry.count("store.read.chunks_decoded")
+        recorder.count("store.read.chunks_decoded")
+        recorder.count("store.read.bytes_out", int(decoded.nbytes))
+        if evicted:
+            recorder.count("store.cache.evictions", evicted)
         if _fresh is not None:
             _fresh.add(key)
         return decoded
@@ -309,7 +348,7 @@ class ArchiveReader:
 
     def cache_stats(self) -> Dict[str, int]:
         """Chunk-cache statistics plus decode/IO counters."""
-        stats = self._fetcher.cache.stats()
+        stats = self._fetcher.cache.stats
         stats["chunks_decoded"] = self._fetcher.chunks_decoded
         stats["bytes_read"] = self._fetcher.bytes_read
         return stats
@@ -352,10 +391,11 @@ class ArchiveReader:
         # Unordered collection: each worker does one seek+read under io_lock
         # and decodes outside every lock; the main thread writes each decoded
         # chunk into its slot as soon as it arrives (slots are disjoint).
-        for _, (index, chunk) in self._scheduler.imap_unordered(fetch, indices):
-            chunk_entry = entry.chunks[index]
-            dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
-            out[dest] = chunk[src]
+        with _obs.span("store.read.region_seconds", field=name, chunks=len(indices)):
+            for _, (index, chunk) in self._scheduler.imap_unordered(fetch, indices):
+                chunk_entry = entry.chunks[index]
+                dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
+                out[dest] = chunk[src]
         return out
 
     # ------------------------------------------------------------------ #
@@ -465,7 +505,10 @@ class ArchiveReader:
             # aligned grids, chunk i of a target only touches chunk i of its
             # anchors, so concurrent tasks never race on the same chunk.
             # Ordered collection keeps the error list deterministic.
-            errors = [e for e in self._scheduler.map(check, entry.chunks) if e is not None]
+            with _obs.span("store.verify.field_seconds", field=entry.name, deep=deep):
+                errors = [
+                    e for e in self._scheduler.map(check, entry.chunks) if e is not None
+                ]
             if errors:
                 field_report["ok"] = False
                 report["ok"] = False

@@ -42,12 +42,14 @@ from __future__ import annotations
 
 import json
 import os
+import time as _time
 import zlib
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import recorder as _obs
 from repro.parallel.blocks import plan_blocks
 from repro.parallel.engine import ChunkScheduler
 from repro.store.cache import LRUChunkCache
@@ -274,13 +276,16 @@ class ArchiveWriter:
             return self.path
         manifest_bytes, crc = self.manifest.checked_json()
         lock = self._fetcher.io_lock
-        with lock:
-            self._fh.seek(self._offset)
-            self._fh.write(manifest_bytes)
-            self._fh.write(pack_footer(self._offset, len(manifest_bytes), crc))
-            self._fh.flush()
-            if self.mode == "a":
-                os.fsync(self._fh.fileno())
+        with _obs.timer("store.write.flush_seconds"):
+            with lock:
+                self._fh.seek(self._offset)
+                self._fh.write(manifest_bytes)
+                self._fh.write(pack_footer(self._offset, len(manifest_bytes), crc))
+                self._fh.flush()
+                if self.mode == "a":
+                    os.fsync(self._fh.fileno())
+        _obs.count("store.write.manifest_publications")
+        _obs.count("store.write.manifest_bytes", len(manifest_bytes))
         # later appends go *after* the footer we just wrote, so the published
         # manifest is never overwritten by in-flight payload bytes
         self._published_end = self._offset + len(manifest_bytes) + FOOTER_SIZE
@@ -447,20 +452,32 @@ class ArchiveWriter:
         instance = get_codec(codec_name, **codec_params)
 
         specs = plan_blocks(data.shape, resolved_chunk_shape)
-        if anchors:
-            # Anchor chunks are reconstructed per target chunk, on demand —
-            # the fetcher serialises only its file reads and cache bookkeeping
-            # internally, so anchor decodes and target encodes both run in
-            # parallel while memory stays bounded by the in-flight workers
-            # plus the fetcher's cache budget, not the whole anchor fields.
-            def encode(spec):
-                anchor_arrays = [self._fetcher.get_chunk(a, spec.index) for a in anchors]
-                return instance.encode(spec.extract(data), anchors=anchor_arrays)
+        recorder = _obs.get_recorder()
 
-        else:
-
-            def encode(spec):
-                return instance.encode(spec.extract(data))
+        # Anchor chunks are reconstructed per target chunk, on demand — the
+        # fetcher serialises only its file reads and cache bookkeeping
+        # internally, so anchor decodes and target encodes both run in
+        # parallel while memory stays bounded by the in-flight workers plus
+        # the fetcher's cache budget, not the whole anchor fields.
+        def encode(spec):
+            chunk_data = spec.extract(data)
+            anchor_arrays = (
+                [self._fetcher.get_chunk(a, spec.index) for a in anchors]
+                if anchors
+                else None
+            )
+            encode_start = _time.perf_counter()
+            if anchor_arrays is not None:
+                payload = instance.encode(chunk_data, anchors=anchor_arrays)
+            else:
+                payload = instance.encode(chunk_data)
+            encode_seconds = _time.perf_counter() - encode_start
+            recorder.observe("store.write.encode_seconds", encode_seconds)
+            if recorder.enabled:
+                recorder.observe(f"store.codec.{cls.name}.encode_seconds", encode_seconds)
+                recorder.count(f"store.codec.{cls.name}.bytes_in", int(chunk_data.nbytes))
+                recorder.count(f"store.codec.{cls.name}.bytes_out", len(payload))
+            return payload
 
         entry = FieldEntry(
             name=name,
@@ -478,24 +495,30 @@ class ArchiveWriter:
         # memory holds only results completed ahead of the write position,
         # never the field's whole compressed output.  Appends share the file
         # handle with the fetcher's anchor reads, hence the io_lock.
-        payloads = self._scheduler.imap(
-            encode, specs, context=lambda i, spec: f"field {name!r} chunk {i}"
-        )
-        for spec, payload in zip(specs, payloads):
-            entry.chunks.append(
-                ChunkEntry(
-                    index=spec.index,
-                    start=tuple(s.start for s in spec.slices),
-                    stop=tuple(s.stop for s in spec.slices),
-                    offset=self._offset,
-                    length=len(payload),
-                    crc32=zlib.crc32(payload) & 0xFFFFFFFF,
-                )
+        with _obs.span(
+            "store.write.field_seconds", field=name, codec=cls.name, chunks=len(specs)
+        ):
+            payloads = self._scheduler.imap(
+                encode, specs, context=lambda i, spec: f"field {name!r} chunk {i}"
             )
-            with self._fetcher.io_lock:
-                self._fh.seek(self._offset)
-                self._fh.write(payload)
-            self._offset += len(payload)
+            for spec, payload in zip(specs, payloads):
+                entry.chunks.append(
+                    ChunkEntry(
+                        index=spec.index,
+                        start=tuple(s.start for s in spec.slices),
+                        stop=tuple(s.stop for s in spec.slices),
+                        offset=self._offset,
+                        length=len(payload),
+                        crc32=zlib.crc32(payload) & 0xFFFFFFFF,
+                    )
+                )
+                io_start = _time.perf_counter()
+                with self._fetcher.io_lock:
+                    self._fh.seek(self._offset)
+                    self._fh.write(payload)
+                recorder.observe("store.write.io_seconds", _time.perf_counter() - io_start)
+                recorder.count("store.write.bytes_out", len(payload))
+                self._offset += len(payload)
         self.manifest.add(entry)
         self._dirty = True
         return entry
@@ -649,10 +672,11 @@ class ArchiveWriter:
         stored: Dict[str, str] = {}
         temporal_meta: Dict[str, Dict] = {}
         try:
-            self._add_timestep_fields(
-                items, step, specs, field_rules, codec, error_bound, chunk_shape,
-                codec_params, stored, temporal_meta,
-            )
+            with _obs.span("store.write.timestep_seconds", step=step, fields=len(items)):
+                self._add_timestep_fields(
+                    items, step, specs, field_rules, codec, error_bound, chunk_shape,
+                    codec_params, stored, temporal_meta,
+                )
         except BaseException:
             # A timestep is all-or-nothing: without this, a mid-step failure
             # would leave orphan `{name}@{step}` entries in the manifest with

@@ -25,6 +25,7 @@ import numpy as np
 from repro.encoding.container import CompressedBlob
 from repro.encoding.entropy import get_entropy_coder
 from repro.encoding.lossless import get_backend
+from repro.obs import recorder as _obs
 from repro.encoding.rle import zigzag_decode, zigzag_encode
 from repro.sz.errors import ErrorBound
 from repro.sz.predictors import (
@@ -126,7 +127,15 @@ def encode_integer_stream(
     if not coder.supports(symbols) and coder.fallback is not None:
         coder = get_entropy_coder(coder.fallback)
 
+    recorder = _obs.get_recorder()
+    encode_start = time.perf_counter()
     coder_sections, coder_meta = coder.encode(symbols, backend)
+    if recorder.enabled:
+        encode_seconds = time.perf_counter() - encode_start
+        encoded_bytes = sum(len(value) for value in coder_sections.values())
+        recorder.observe(f"entropy.{coder.name}.encode_seconds", encode_seconds)
+        recorder.count(f"entropy.{coder.name}.symbols_in", int(symbols.size))
+        recorder.count(f"entropy.{coder.name}.bytes_out", encoded_bytes)
     sections: Dict[str, bytes] = {
         f"{prefix}.{key}": value for key, value in coder_sections.items()
     }
@@ -172,7 +181,17 @@ def decode_integer_stream(
         for key, value in sections.items()
         if key.startswith(marker) and key not in own
     }
+    recorder = _obs.get_recorder()
+    decode_start = time.perf_counter()
     symbols = coder.decode(coder_sections, meta, backend, scheduler=scheduler)
+    if recorder.enabled:
+        decode_seconds = time.perf_counter() - decode_start
+        recorder.observe(f"entropy.{coder.name}.decode_seconds", decode_seconds)
+        recorder.count(f"entropy.{coder.name}.symbols_out", int(symbols.size))
+        recorder.count(
+            f"entropy.{coder.name}.bytes_in",
+            sum(len(value) for value in coder_sections.values()),
+        )
     if symbols.size != n:
         raise ValueError(f"decoded {symbols.size} symbols, expected {n}")
 

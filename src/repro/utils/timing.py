@@ -1,18 +1,36 @@
-"""Timing helpers for throughput accounting in the compression pipeline."""
+"""Timing helpers for throughput accounting in the compression pipeline.
+
+Both helpers are thin compatibility shims over the :mod:`repro.obs` telemetry
+recorder.  Historically :class:`Timer` kept a shared section stack and
+:func:`timed` stored its measurement on a shared function attribute — both
+raced when called from :class:`~repro.parallel.engine.ChunkScheduler` worker
+threads (sections popped each other's entries; ``last_elapsed`` read one
+thread's value from another).  Rebasing them on a per-instance
+:class:`~repro.obs.Recorder` (lock-protected histograms) and thread-local
+state keeps the public API while making every method safe to call from any
+thread.
+"""
 
 from __future__ import annotations
 
 import functools
+import threading
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict
+
+from repro.obs import recorder as _obs
 
 __all__ = ["Timer", "timed"]
 
 
-@dataclass
 class Timer:
-    """Accumulating wall-clock timer with named sections.
+    """Accumulating wall-clock timer with named sections (thread-safe).
+
+    Backed by a private telemetry :class:`~repro.obs.Recorder`: each
+    :meth:`section` context carries its own start time and folds the elapsed
+    seconds into a lock-protected histogram, so concurrent and nested sections
+    from different threads never interfere.  ``totals`` and ``counts`` are
+    derived views of that recorder's state.
 
     Example
     -------
@@ -23,27 +41,24 @@ class Timer:
     True
     """
 
-    totals: Dict[str, float] = field(default_factory=dict)
-    counts: Dict[str, int] = field(default_factory=dict)
-    _stack: List[tuple] = field(default_factory=list)
+    def __init__(self) -> None:
+        self._recorder = _obs.Recorder()
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        """Accumulated seconds per section (a fresh snapshot dict)."""
+        snapshot = self._recorder.snapshot()
+        return {name: hist.sum for name, hist in snapshot.histograms.items()}
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Number of completed sections per name (a fresh snapshot dict)."""
+        snapshot = self._recorder.snapshot()
+        return {name: hist.count for name, hist in snapshot.histograms.items()}
 
     def section(self, name: str):
         """Return a context manager accumulating time under ``name``."""
-        timer = self
-
-        class _Section:
-            def __enter__(self_inner):
-                timer._stack.append((name, time.perf_counter()))
-                return timer
-
-            def __exit__(self_inner, exc_type, exc, tb):
-                start_name, start = timer._stack.pop()
-                elapsed = time.perf_counter() - start
-                timer.totals[start_name] = timer.totals.get(start_name, 0.0) + elapsed
-                timer.counts[start_name] = timer.counts.get(start_name, 0) + 1
-                return False
-
-        return _Section()
+        return self._recorder.timer(name)
 
     def total(self, name: str) -> float:
         """Total accumulated seconds for section ``name`` (0.0 if never entered)."""
@@ -51,28 +66,58 @@ class Timer:
 
     def reset(self) -> None:
         """Clear all accumulated sections."""
-        self.totals.clear()
-        self.counts.clear()
-        self._stack.clear()
+        self._recorder.reset()
 
     def summary(self) -> str:
         """Human readable multi-line summary sorted by total time."""
+        totals = self.totals
+        counts = self.counts
         lines = []
-        for name, total in sorted(self.totals.items(), key=lambda kv: -kv[1]):
-            count = self.counts.get(name, 0)
-            lines.append(f"{name:<30s} {total:10.4f} s  ({count} calls)")
+        for name, total in sorted(totals.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:<30s} {total:10.4f} s  ({counts.get(name, 0)} calls)")
         return "\n".join(lines)
 
 
-def timed(func: Callable) -> Callable:
-    """Decorator attaching the last call's wall-clock time as ``.last_elapsed``."""
+class _TimedCallable:
+    """The callable :func:`timed` returns: per-thread ``last_elapsed``.
 
-    @functools.wraps(func)
-    def wrapper(*args, **kwargs):
+    Every call also observes into the *global* telemetry recorder under
+    ``timed.<qualname>_seconds`` (a no-op when telemetry is disabled), so ad
+    hoc ``@timed`` probes show up in ``--profile`` output alongside the
+    built-in stages.
+    """
+
+    def __init__(self, func: Callable) -> None:
+        self._func = func
+        self._local = threading.local()
+        self._metric = f"timed.{getattr(func, '__qualname__', repr(func))}_seconds"
+        functools.update_wrapper(self, func)
+
+    def __call__(self, *args, **kwargs):
         start = time.perf_counter()
-        result = func(*args, **kwargs)
-        wrapper.last_elapsed = time.perf_counter() - start
-        return result
+        try:
+            return self._func(*args, **kwargs)
+        finally:
+            elapsed = time.perf_counter() - start
+            self._local.elapsed = elapsed
+            _obs.get_recorder().observe(self._metric, elapsed)
 
-    wrapper.last_elapsed = 0.0
-    return wrapper
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return functools.partial(self.__call__, obj)
+
+    @property
+    def last_elapsed(self) -> float:
+        """Wall-clock seconds of the calling thread's most recent call."""
+        return getattr(self._local, "elapsed", 0.0)
+
+
+def timed(func: Callable) -> Callable:
+    """Decorator attaching the last call's wall-clock time as ``.last_elapsed``.
+
+    ``last_elapsed`` is tracked per thread: a call finishing on one scheduler
+    worker no longer overwrites the value another thread is about to read.
+    Threads that have not called the function yet read ``0.0``.
+    """
+    return _TimedCallable(func)

@@ -1,0 +1,501 @@
+"""Tests for the telemetry layer (``repro.obs``).
+
+Covers the recorder primitives (counters, gauges, histograms, spans), the
+module-level registry, snapshot serialisation/merging, the render helpers
+(stage table, JSON dump, Chrome trace), thread-safety under concurrent
+increments, and — the load-bearing property for the parallel engine — merge
+parity: the same workload driven through :class:`ChunkScheduler` with the
+serial, thread, and process backends must produce identical counter totals,
+because process workers ship their deltas back as snapshots rather than
+writing to the parent's recorder directly.
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import (
+    BUCKET_RESOLUTION,
+    SNAPSHOT_SCHEMA,
+    bucket_index,
+    bucket_upper_bound,
+)
+from repro.obs.render import chrome_trace_events
+from repro.parallel import ChunkScheduler
+
+
+@pytest.fixture()
+def recorder():
+    """A fresh Recorder installed globally, restored after the test."""
+    rec = obs.Recorder()
+    previous = obs.set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        obs.set_recorder(previous)
+
+
+# --------------------------------------------------------------------------- #
+# histogram buckets
+# --------------------------------------------------------------------------- #
+class TestHistogram:
+    def test_bucket_indexing_is_log2(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(BUCKET_RESOLUTION) == 0
+        assert bucket_index(2 * BUCKET_RESOLUTION) == 1
+        assert bucket_index(4 * BUCKET_RESOLUTION) == 2
+        for i in range(0, 20, 3):
+            assert bucket_upper_bound(bucket_index(bucket_upper_bound(i))) >= bucket_upper_bound(i)
+
+    def test_exact_moments_approximate_quantiles(self):
+        hist = obs.Histogram()
+        values = [0.001, 0.002, 0.004, 0.008, 0.1]
+        for v in values:
+            hist.observe(v)
+        assert hist.count == len(values)
+        assert hist.sum == pytest.approx(sum(values))
+        assert hist.min == pytest.approx(min(values))
+        assert hist.max == pytest.approx(max(values))
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+        # quantiles come from log2 bucket upper bounds: within 2x of the truth
+        q50 = hist.quantile(0.5)
+        assert 0.004 <= q50 <= 0.008
+
+    def test_merge_matches_combined_stream(self):
+        a, b, both = obs.Histogram(), obs.Histogram(), obs.Histogram()
+        for i, v in enumerate([0.01, 0.5, 1e-7, 0.03, 2.0]):
+            (a if i % 2 else b).observe(v)
+            both.observe(v)
+        a.merge(b)
+        assert a.count == both.count
+        assert a.sum == pytest.approx(both.sum)
+        assert a.to_dict()["buckets"] == both.to_dict()["buckets"]
+        assert a.min == both.min and a.max == both.max
+
+    def test_dict_roundtrip(self):
+        hist = obs.Histogram()
+        for v in (0.2, 0.004, 7.0):
+            hist.observe(v)
+        clone = obs.Histogram.from_dict(hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.quantile(0.95) == hist.quantile(0.95)
+
+
+# --------------------------------------------------------------------------- #
+# recorder primitives and the registry
+# --------------------------------------------------------------------------- #
+class TestRecorder:
+    def test_counters_gauges_histograms(self):
+        rec = obs.Recorder()
+        rec.count("chunks")
+        rec.count("chunks", 4)
+        rec.gauge("cache.nbytes", 123.0)
+        rec.gauge("cache.nbytes", 456.0)  # gauges keep the latest value
+        rec.observe("io_seconds", 0.25)
+        snap = rec.snapshot()
+        assert snap.counter("chunks") == 5
+        assert snap.gauges["cache.nbytes"] == 456.0
+        assert snap.histograms["io_seconds"].count == 1
+        assert rec.counter("chunks") == 5  # cheap accessor, no snapshot
+
+    def test_span_records_and_observes(self):
+        rec = obs.Recorder()
+        with rec.span("outer", field="FLNT"):
+            with rec.span("inner"):
+                pass
+        snap = rec.snapshot()
+        names = [s.name for s in snap.spans]
+        assert names == ["inner", "outer"]  # recorded on exit
+        by_name = {s.name: s for s in snap.spans}
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].args == {"field": "FLNT"}
+        # every span also feeds the same-named histogram
+        assert snap.histograms["outer"].count == 1
+
+    def test_timer_accumulates(self):
+        rec = obs.Recorder()
+        for _ in range(3):
+            with rec.timer("work"):
+                pass
+        assert rec.snapshot().histograms["work"].count == 3
+
+    def test_snapshot_reset(self):
+        rec = obs.Recorder()
+        rec.count("a")
+        first = rec.snapshot(reset=True)
+        assert first.counter("a") == 1
+        assert rec.snapshot().empty
+
+    def test_null_recorder_is_inert(self):
+        null = obs.NullRecorder()
+        assert not null.enabled
+        null.count("x", 5)
+        null.observe("y", 1.0)
+        with null.span("z", k=1):
+            with null.timer("t"):
+                pass
+        assert null.counter("x") == 0
+        assert null.snapshot().empty
+
+    def test_registry_set_and_restore(self):
+        rec = obs.Recorder()
+        previous = obs.set_recorder(rec)
+        try:
+            assert obs.get_recorder() is rec
+            assert obs.enabled()
+            obs.count("via.module", 2)
+            assert rec.counter("via.module") == 2
+        finally:
+            obs.set_recorder(previous)
+        assert obs.get_recorder() is previous
+
+    def test_enable_disable(self):
+        previous = obs.get_recorder()
+        try:
+            active = obs.enable()
+            assert obs.enabled()
+            assert obs.enable() is active  # already enabled: keep it
+            obs.disable()
+            assert not obs.enabled()
+        finally:
+            obs.set_recorder(previous)
+
+    def test_env_variable_enables(self, monkeypatch):
+        from repro.obs.recorder import _env_enabled
+
+        for value, expect in [
+            ("1", True), ("true", True), ("on", True),
+            ("", False), ("0", False), ("false", False), ("off", False), ("no", False),
+        ]:
+            monkeypatch.setenv("REPRO_TELEMETRY", value)
+            assert _env_enabled() is expect
+        monkeypatch.delenv("REPRO_TELEMETRY")
+        assert _env_enabled() is False
+
+    def test_span_cap_drops_and_counts(self):
+        rec = obs.Recorder(max_spans=3)
+        for _ in range(5):
+            with rec.span("s"):
+                pass
+        snap = rec.snapshot()
+        assert len(snap.spans) == 3
+        assert snap.counter("obs.spans_dropped") == 2
+        assert snap.histograms["s"].count == 5  # histogram still sees all
+
+
+# --------------------------------------------------------------------------- #
+# snapshots: merge, serialisation, pickling
+# --------------------------------------------------------------------------- #
+class TestSnapshot:
+    def _sample(self):
+        rec = obs.Recorder()
+        rec.count("c", 3)
+        rec.gauge("g", 9.0)
+        rec.observe("h", 0.5)
+        with rec.span("sp", step=1):
+            pass
+        return rec.snapshot()
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = self._sample(), self._sample()
+        merged = a.merge(b)
+        assert merged is a
+        assert a.counter("c") == 6
+        assert a.histograms["h"].count == 2
+        assert a.histograms["sp"].count == 2
+        assert len(a.spans) == 2
+
+    def test_json_roundtrip(self):
+        snap = self._sample()
+        data = json.loads(json.dumps(snap.to_dict()))
+        assert data["schema"] == SNAPSHOT_SCHEMA
+        clone = obs.TelemetrySnapshot.from_dict(data)
+        assert clone.counter("c") == snap.counter("c")
+        assert clone.histograms["h"].sum == snap.histograms["h"].sum
+        assert clone.spans[0].name == "sp"
+        assert clone.spans[0].args == {"step": 1}
+
+    def test_schema_mismatch_rejected(self):
+        data = self._sample().to_dict()
+        data["schema"] = "repro-telemetry/999"
+        with pytest.raises(ValueError, match="telemetry"):
+            obs.TelemetrySnapshot.from_dict(data)
+
+    def test_pickle_roundtrip(self):
+        snap = self._sample()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.to_dict() == snap.to_dict()
+
+    def test_merge_snapshot_into_recorder(self):
+        rec = obs.Recorder()
+        rec.count("c", 1)
+        rec.merge_snapshot(self._sample())
+        assert rec.counter("c") == 4
+        assert rec.snapshot().histograms["h"].count == 1
+
+
+# --------------------------------------------------------------------------- #
+# render helpers
+# --------------------------------------------------------------------------- #
+class TestRender:
+    def test_empty_snapshot_renders_empty(self):
+        assert obs.format_stage_table(obs.TelemetrySnapshot()) == ""
+
+    def test_stage_table_contents(self):
+        rec = obs.Recorder()
+        rec.observe("store.read.decode_seconds", 0.2)
+        rec.observe("store.read.decode_seconds", 0.1)
+        rec.count("store.cache.hits", 7)
+        rec.gauge("store.cache.nbytes", 4096)
+        table = obs.format_stage_table(rec.snapshot(), title="telemetry: test")
+        assert "telemetry: test" in table
+        assert "store.read.decode_seconds" in table
+        assert "store.cache.hits" in table
+        assert "7" in table
+
+    def test_snapshot_json_file(self, tmp_path):
+        rec = obs.Recorder()
+        rec.count("c", 2)
+        out = tmp_path / "profile.json"
+        obs.write_snapshot_json(rec.snapshot(), out)
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data["schema"] == SNAPSHOT_SCHEMA
+        assert data["counters"]["c"] == 2
+
+    def test_chrome_trace_events(self, tmp_path):
+        rec = obs.Recorder()
+        with rec.span("store.read.region_seconds", field="FLNT"):
+            with rec.span("pipeline.verify_seconds"):
+                pass
+        events = chrome_trace_events(rec.snapshot())
+        assert len(events) == 2
+        assert all(e["ph"] == "X" for e in events)
+        cats = {e["name"]: e["cat"] for e in events}
+        assert cats["store.read.region_seconds"] == "store"
+        assert cats["pipeline.verify_seconds"] == "pipeline"
+        out = tmp_path / "trace.json"
+        obs.write_chrome_trace(rec.snapshot(), out)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# thread-safety: concurrent increments
+# --------------------------------------------------------------------------- #
+class TestConcurrency:
+    def test_concurrent_increments_lose_nothing(self):
+        rec = obs.Recorder()
+        n_threads, n_iter = 8, 2_000
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(n_iter):
+                rec.count("stress.counter")
+                rec.observe("stress.hist", 0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = rec.snapshot()
+        assert snap.counter("stress.counter") == n_threads * n_iter
+        assert snap.histograms["stress.hist"].count == n_threads * n_iter
+
+    def test_concurrent_spans_keep_private_depth(self):
+        rec = obs.Recorder(max_spans=100_000)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(200):
+                    with rec.span("outer"):
+                        with rec.span("inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        depths = {s.name: set() for s in rec.snapshot().spans}
+        for s in rec.snapshot().spans:
+            depths[s.name].add(s.depth)
+        # span depth is tracked per thread: nesting never bleeds across threads
+        assert depths == {"outer": {0}, "inner": {1}}
+
+
+# --------------------------------------------------------------------------- #
+# merge parity across scheduler backends
+# --------------------------------------------------------------------------- #
+def _telemetry_workload(item):
+    """Module-level (picklable) task that records into the global recorder.
+
+    With the process backend the "global recorder" is a fresh worker-local one
+    installed by the scheduler's telemetry shim; its snapshot ships back with
+    the result and merges into the parent recorder.
+    """
+    obs.count("work.items")
+    obs.count("work.value", item)
+    with obs.span("work.step_seconds", item=item):
+        obs.observe("work.cost", float(item) * 1e-4)
+    return item * item
+
+
+@pytest.mark.parametrize("executor_kind", ["serial", "thread", "process"])
+def test_backend_counter_parity(executor_kind, recorder):
+    """Identical counter totals no matter which backend ran the workload."""
+    items = list(range(40))
+    scheduler = ChunkScheduler(jobs=1 if executor_kind == "serial" else 3,
+                               executor_kind=executor_kind)
+    try:
+        results = scheduler.map(_telemetry_workload, items)
+    finally:
+        scheduler.close()
+    assert results == [i * i for i in items]
+
+    snap = recorder.snapshot()
+    # workload counters: exact totals, independent of how work was distributed
+    assert snap.counter("work.items") == len(items)
+    assert snap.counter("work.value") == sum(items)
+    assert snap.histograms["work.cost"].count == len(items)
+    assert snap.histograms["work.cost"].sum == pytest.approx(sum(items) * 1e-4)
+    assert snap.histograms["work.step_seconds"].count == len(items)
+    # scheduler accounting: one task per item on every backend
+    assert snap.counter("scheduler.tasks") == len(items)
+    assert snap.histograms["scheduler.task_seconds"].count == len(items)
+    assert snap.histograms["scheduler.queue_wait_seconds"].count == len(items)
+
+
+def test_backend_parity_totals_match_each_other(recorder):
+    """Serial, thread, and process runs produce byte-identical counter dicts."""
+    items = list(range(25))
+    totals = {}
+    for kind in ("serial", "thread", "process"):
+        rec = obs.Recorder()
+        previous = obs.set_recorder(rec)
+        try:
+            scheduler = ChunkScheduler(jobs=1 if kind == "serial" else 2,
+                                       executor_kind=kind)
+            try:
+                scheduler.map(_telemetry_workload, items)
+            finally:
+                scheduler.close()
+        finally:
+            obs.set_recorder(previous)
+        snap = rec.snapshot()
+        totals[kind] = {
+            "counters": dict(sorted(snap.counters.items())),
+            "hist_counts": {name: hist.count for name, hist in sorted(snap.histograms.items())},
+        }
+    assert totals["serial"] == totals["thread"] == totals["process"]
+
+
+def test_disabled_recorder_runs_unwrapped(recorder):
+    """With telemetry disabled the scheduler does not wrap tasks at all."""
+    previous = obs.set_recorder(obs.NullRecorder())
+    try:
+        scheduler = ChunkScheduler(jobs=1, executor_kind="serial")
+        assert scheduler._instrument(_telemetry_workload, serial=True) is None
+        results = scheduler.map(_telemetry_workload, [1, 2, 3])
+        assert results == [1, 4, 9]
+    finally:
+        obs.set_recorder(previous)
+
+
+# --------------------------------------------------------------------------- #
+# CLI --profile surfaces
+# --------------------------------------------------------------------------- #
+class TestCliProfile:
+    @pytest.fixture()
+    def archive(self, tmp_path):
+        from repro.store.cli import main
+
+        path = tmp_path / "profiled.xfa"
+        assert main(["pack", "cesm", str(path), "--shape", "48,64", "--chunk", "24,24"]) == 0
+        return path
+
+    def test_profile_stage_table_on_stderr(self, archive, capsys):
+        from repro.store.cli import main
+
+        assert main(["verify", str(archive), "--deep", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry: repro verify" in captured.err
+        assert "store.read.decode_seconds" in captured.err
+        assert "store.read.decode_seconds" not in captured.out  # stdout stays clean
+
+    def test_profile_json_consistent_with_table(self, archive, tmp_path, capsys):
+        from repro.store.cli import main
+
+        out = tmp_path / "profile.json"
+        assert main(["verify", str(archive), "--deep",
+                     "--profile", "--profile-json", str(out)]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data["schema"] == SNAPSHOT_SCHEMA
+        # the JSON dump and the stage table describe the same run
+        decoded = data["counters"]["store.read.chunks_decoded"]
+        assert decoded > 0
+        assert str(int(decoded)) in captured.err
+        assert data["counters"]["store.read.bytes_in"] > 0
+        assert data["histograms"]["store.read.decode_seconds"]["count"] == decoded
+
+    def test_trace_flag_writes_chrome_trace(self, archive, tmp_path):
+        from repro.store.cli import main
+
+        trace = tmp_path / "trace.json"
+        assert main(["--trace", str(trace), "verify", str(archive), "--deep"]) == 0
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"], "deep verify must emit at least one span"
+        assert all(event["ph"] == "X" for event in doc["traceEvents"])
+
+    def test_no_profile_leaves_recorder_untouched(self, archive, capsys):
+        from repro.store.cli import main
+
+        assert not obs.enabled()
+        assert main(["verify", str(archive)]) == 0
+        assert not obs.enabled()
+        assert "telemetry" not in capsys.readouterr().err
+
+
+def test_archive_read_parity_serial_vs_parallel(tmp_path, recorder):
+    """End-to-end: reading an archive records the same store counters at
+    ``jobs=1`` and ``jobs=3`` (thread backend)."""
+    import numpy as np
+
+    from repro.store import ArchiveReader, ArchiveWriter
+    from repro.sz.errors import ErrorBound
+
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(96, 96)).astype(np.float64)
+    path = tmp_path / "parity.xfa"
+    with ArchiveWriter(path, chunk_shape=(32, 32), error_bound=ErrorBound.absolute(1e-3)) as writer:
+        writer.add_field("T", data)
+
+    per_jobs = {}
+    for jobs in (1, 3):
+        rec = obs.Recorder()
+        previous = obs.set_recorder(rec)
+        try:
+            with ArchiveReader(path, jobs=jobs) as reader:
+                reader.read_field("T")
+        finally:
+            obs.set_recorder(previous)
+        snap = rec.snapshot()
+        per_jobs[jobs] = {
+            name: value
+            for name, value in snap.counters.items()
+            if name.startswith(("store.read.", "store.cache.", "store.codec."))
+        }
+    assert per_jobs[1] == per_jobs[3]
+    assert per_jobs[1]["store.read.chunks_decoded"] == 9

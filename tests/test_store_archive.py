@@ -592,5 +592,5 @@ class TestLRUChunkCache:
         cache.put("x", np.zeros(4))
         cache.get("x")
         cache.get("y")
-        stats = cache.stats()
+        stats = cache.stats
         assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
