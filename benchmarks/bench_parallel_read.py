@@ -23,7 +23,9 @@ Runs standalone (``python benchmarks/bench_parallel_read.py [--quick]
 [--overhead-guard]``) or under pytest-benchmark; ``REPRO_BENCH_SCALE=smoke``
 matches ``--quick``.  Either way a machine-readable ``BENCH_parallel_read.json``
 report (headline timings plus a telemetry snapshot from one instrumented pass)
-is written via :func:`conftest.bench_report`.
+is written via :func:`conftest.bench_report`; the headline includes the
+``sz.predict.*``/``sz.quantize.*`` stage split extracted from the snapshot, so
+the report shows where time goes *inside* the SZ codec.
 
 ``--overhead-guard`` additionally asserts the observability tax: with
 telemetry *disabled* (the default recorder is a no-op), total measured time
@@ -203,11 +205,34 @@ def _report_and_assert(result, overhead_guard=False):
     return headline
 
 
+def _sz_stage_split(snapshot):
+    """Extract the sz predict/quantize stage split from a telemetry snapshot.
+
+    Returns ``{metric: seconds}`` for every ``sz.predict.*`` / ``sz.quantize.*``
+    / ``sz.wavefront.*`` stage timer the instrumented pass recorded (see
+    ``docs/observability.md``), so the ``BENCH_*.json`` headline shows where
+    decode time goes inside the SZ codec, not just the end-to-end number.
+    """
+    split = {
+        name: hist.sum
+        for name, hist in snapshot.histograms.items()
+        if name.startswith(("sz.predict.", "sz.quantize.", "sz.wavefront."))
+    }
+    for counter in ("sz.predict.points", "sz.wavefront.points"):
+        if counter in snapshot.counters:
+            split[counter] = snapshot.counters[counter]
+    return split
+
+
 def test_parallel_read(benchmark, tmp_path):
     path = _build_archive(tmp_path)
     result = run_once(benchmark, _measure, path)
     headline = _report_and_assert(result)
-    bench_report("parallel_read", headline, telemetry=_telemetry_snapshot(path))
+    snapshot = _telemetry_snapshot(path)
+    headline["sz_stage_split"] = _sz_stage_split(snapshot)
+    # the read path decodes sz chunks, so the predict stage must show up
+    assert any(key.startswith("sz.predict.") for key in headline["sz_stage_split"])
+    bench_report("parallel_read", headline, telemetry=snapshot)
 
 
 if __name__ == "__main__":
@@ -236,8 +261,8 @@ if __name__ == "__main__":
         archive = _build_archive(Path(tmp))
         measured = _measure(archive, repeats=cli_args.repeats)
         headline = _report_and_assert(measured, overhead_guard=cli_args.overhead_guard)
-        report_path = bench_report(
-            "parallel_read", headline, telemetry=_telemetry_snapshot(archive)
-        )
+        snapshot = _telemetry_snapshot(archive)
+        headline["sz_stage_split"] = _sz_stage_split(snapshot)
+        report_path = bench_report("parallel_read", headline, telemetry=snapshot)
     print(f"report: {report_path}")
     print("ok")

@@ -22,6 +22,10 @@ Fixtures:
   builds, which would make byte-exact pinning flaky.)
 - ``timeseries.xfa``   — appendable time-stepped archive: three steps written
   through the append path, temporal-delta coded with anchors every 2 steps.
+- ``sz-hybrid.xfa``    — sz fields exercising every predictor (lorenzo,
+  regression, interpolation), pinning the vectorised predict/decode fast
+  paths byte-exactly: a change to the batched index-table decoders that
+  alters any decoded byte fails here even if it slips past the parity suite.
 
 Run from the repository root after an *intentional* format change::
 
@@ -132,6 +136,20 @@ def build_mixed_codec(path: Path) -> None:
         writer.add_field("CLDLOW", dataset["CLDLOW"].data, codec="lossless")
 
 
+def build_sz_hybrid(path: Path) -> None:
+    from repro.store import ArchiveWriter
+
+    dataset = _dataset()
+    with ArchiveWriter(path, chunk_shape=CHUNK) as writer:
+        writer.add_field("FLNT", dataset["FLNT"].data, codec="sz", predictor="lorenzo")
+        writer.add_field(
+            "FLNTC", dataset["FLNTC"].data, codec="sz", predictor="regression"
+        )
+        writer.add_field(
+            "LWCF", dataset["LWCF"].data, codec="sz", predictor="interpolation"
+        )
+
+
 def build_timeseries(path: Path) -> None:
     from repro.data.synthetic import make_timeseries
     from repro.store import ArchiveWriter, TemporalSpec
@@ -176,6 +194,7 @@ BUILDERS = {
     "hfv2": build_hfv2,
     "mixed-codec": build_mixed_codec,
     "timeseries": build_timeseries,
+    "sz-hybrid": build_sz_hybrid,
 }
 
 

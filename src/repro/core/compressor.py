@@ -80,7 +80,10 @@ class CrossFieldCompressor:
         make the output larger than the baseline by more than the metadata
         overhead.  Set to ``False`` to always store the hybrid stream.
     decoder:
-        ``"wavefront"`` (default, vectorised) or ``"sequential"`` (reference).
+        ``"wavefront"`` (default, the batched index-table decoder described in
+        ``docs/architecture.md`` "The wavefront batch decoder") or
+        ``"sequential"`` (the scalar reference path, bit-identical by the
+        parity contract in ``tests/test_sz_parity.py``).
 
     Examples
     --------

@@ -98,7 +98,15 @@ class Codec(ABC):
 
 
 class SZChunkCodec(Codec):
-    """Chunk codec backed by the SZ3-style baseline pipeline."""
+    """Chunk codec backed by the SZ3-style baseline pipeline.
+
+    Decoding runs through the vectorised predictor paths in
+    :mod:`repro.sz.predictors` (batched per-shape index tables, see
+    ``docs/architecture.md`` "The wavefront batch decoder"); the
+    ``tests/test_sz_parity.py`` harness pins them bit-identical to the scalar
+    reference implementations, and the ``sz-hybrid`` golden archive pins the
+    decoded bytes across releases.
+    """
 
     name = "sz"
 

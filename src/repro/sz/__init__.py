@@ -22,8 +22,11 @@ from repro.sz.predictors import (
     InterpolationPredictor,
 )
 from repro.sz.decode import (
+    clear_wavefront_plans,
+    decode_reference,
     decode_weighted_sequential,
     decode_weighted_wavefront,
+    wavefront_plan_info,
 )
 from repro.sz.pipeline import SZCompressor, CompressionResult
 
@@ -40,6 +43,9 @@ __all__ = [
     "InterpolationPredictor",
     "decode_weighted_sequential",
     "decode_weighted_wavefront",
+    "decode_reference",
+    "wavefront_plan_info",
+    "clear_wavefront_plans",
     "SZCompressor",
     "CompressionResult",
 ]

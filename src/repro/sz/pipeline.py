@@ -12,6 +12,13 @@ baseline throughout the evaluation:
 
 The residual encode/decode helpers are shared with the cross-field compressor
 in :mod:`repro.core.compressor`, which only replaces stage 2.
+
+When telemetry is enabled (``--profile`` / ``REPRO_TELEMETRY``) every stage is
+timed separately — ``sz.quantize.prequantize_seconds`` /
+``sz.quantize.dequantize_seconds``, ``sz.predict.<predictor>.encode_seconds`` /
+``.decode_seconds`` and the ``sz.predict.points`` counter — so profiles show
+the predict/quantize split next to the entropy stage; see
+``docs/observability.md`` for the metric naming scheme.
 """
 
 from __future__ import annotations
@@ -276,11 +283,14 @@ class SZCompressor:
         if data.ndim not in (1, 2, 3):
             raise ValueError("SZCompressor supports 1D, 2D and 3D data")
         timings: Dict[str, float] = {}
+        recorder = _obs.get_recorder()
 
         t0 = time.perf_counter()
         abs_eb = self.error_bound.resolve(data)
         codes = prequantize(data, effective_error_bound(abs_eb))
         timings["prequantize"] = time.perf_counter() - t0
+        if recorder.enabled:
+            recorder.observe("sz.quantize.prequantize_seconds", timings["prequantize"])
 
         t0 = time.perf_counter()
         extra_sections: Dict[str, bytes] = {}
@@ -301,6 +311,11 @@ class SZCompressor:
                 "n_blocks": int(coefficients.coefficients.shape[0]),
             }
         timings["predict"] = time.perf_counter() - t0
+        if recorder.enabled:
+            recorder.observe(
+                f"sz.predict.{self.predictor}.encode_seconds", timings["predict"]
+            )
+            recorder.count("sz.predict.points", int(data.size))
 
         t0 = time.perf_counter()
         sections, stream_meta = encode_integer_stream(
@@ -359,6 +374,8 @@ class SZCompressor:
             blob.sections, metadata["stream"], scheduler=scheduler
         ).reshape(shape)
 
+        recorder = _obs.get_recorder()
+        predict_start = time.perf_counter()
         if predictor == "lorenzo":
             codes = lorenzo_inverse(residuals)
         elif predictor == "interpolation":
@@ -382,5 +399,17 @@ class SZCompressor:
             )
         else:  # pragma: no cover - guarded at construction
             raise ValueError(f"unknown predictor {predictor!r}")
+        if recorder.enabled:
+            recorder.observe(
+                f"sz.predict.{predictor}.decode_seconds",
+                time.perf_counter() - predict_start,
+            )
+            recorder.count("sz.predict.points", int(residuals.size))
 
-        return dequantize(codes, effective_error_bound(abs_eb), dtype=dtype)
+        dequantize_start = time.perf_counter()
+        reconstructed = dequantize(codes, effective_error_bound(abs_eb), dtype=dtype)
+        if recorder.enabled:
+            recorder.observe(
+                "sz.quantize.dequantize_seconds", time.perf_counter() - dequantize_start
+            )
+        return reconstructed

@@ -13,16 +13,30 @@ Predictors implemented:
   integers the Lorenzo residual operator is exactly the composition of
   first-order backward differences along every axis, whose inverse is a chain
   of cumulative sums — giving a fully vectorised decoder.
-- **Regression**: SZ-style block-wise linear (hyperplane) fit; coefficients are
-  stored in the stream, so decoding is independent of neighbouring values.
+- **Regression**: SZ-style block-wise linear (hyperplane) fit.  Every block of
+  a given shape shares one design matrix, so the fit is a *batched* normal-
+  equation solve — one tensor contraction over all same-shaped blocks at once
+  instead of a per-block Python loop.  The per-block scalar paths are kept as
+  :meth:`RegressionPredictor.encode_reference` /
+  :meth:`RegressionPredictor.decode_reference`; both paths share the exact
+  fixed-order float64 arithmetic, so their outputs are bit-identical — the
+  contract enforced by ``tests/test_sz_parity.py``.
 - **Interpolation**: SZ3-style multi-level linear interpolation along each
   dimension; prediction only ever uses points reconstructed in earlier passes.
+  The per-shape pass tables (flat index tables, like the wavefront decoder's
+  plans) are cached at module level so the thousands of same-shaped chunks of
+  an archive build them once.
+
+See ``docs/architecture.md`` ("The wavefront batch decoder") for how the
+cached index tables and the parity-testing contract fit together.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,13 +127,170 @@ class RegressionCoefficients:
         return int(self.coefficients.astype(np.float32).nbytes)
 
 
+class _DesignInfo:
+    """Design matrix, coordinate grids and normal-equation inverse for one block shape.
+
+    ``active_cols`` lists the coefficient-vector entries the fit actually
+    solves for: the intercept plus one slope per axis of extent > 1 (an axis of
+    extent one has an all-zero coordinate column, which would make the normal
+    matrix singular; its slope is pinned to zero instead, matching the
+    minimum-norm least-squares solution).
+    """
+
+    def __init__(self, block_shape: Tuple[int, ...]) -> None:
+        self.block_shape = tuple(int(s) for s in block_shape)
+        ndim = len(self.block_shape)
+        elems = int(np.prod(self.block_shape))
+        mesh = np.meshgrid(
+            *[np.arange(s, dtype=np.float64) for s in self.block_shape], indexing="ij"
+        )
+        self.grids: List[np.ndarray] = [g.ravel() for g in mesh]
+        self.active_cols: Tuple[int, ...] = (0,) + tuple(
+            d + 1 for d in range(ndim) if self.block_shape[d] > 1
+        )
+        columns = [np.ones(elems, dtype=np.float64)]
+        columns.extend(self.grids[c - 1] for c in self.active_cols[1:])
+        self.design = np.stack(columns, axis=1)  # (elems, k)
+        normal = self.design.T @ self.design
+        self.inv_normal = np.linalg.inv(normal)  # (k, k)
+
+
+class _BlockGroup:
+    """All equal-shaped blocks of one decomposition, with flat gather tables."""
+
+    def __init__(self, block_shape: Tuple[int, ...], positions: np.ndarray, gather: np.ndarray) -> None:
+        self.block_shape = block_shape
+        self.positions = positions  # (nb,) indices into the C-order block list
+        self.gather = gather  # (nb, elems) flat indices into the full array
+
+
+_DESIGN_CACHE: "OrderedDict[Tuple[int, ...], _DesignInfo]" = OrderedDict()
+_GROUP_CACHE: "OrderedDict[Tuple, List[_BlockGroup]]" = OrderedDict()
+_PREDICTOR_CACHE_LOCK = threading.Lock()
+_DESIGN_CACHE_MAX = 128
+_GROUP_CACHE_MAX_ELEMENTS = 1 << 22  # total gather-table entries kept
+
+
+def _design_info(block_shape: Tuple[int, ...]) -> _DesignInfo:
+    key = tuple(int(s) for s in block_shape)
+    with _PREDICTOR_CACHE_LOCK:
+        info = _DESIGN_CACHE.get(key)
+        if info is not None:
+            _DESIGN_CACHE.move_to_end(key)
+            return info
+    info = _DesignInfo(key)
+    with _PREDICTOR_CACHE_LOCK:
+        _DESIGN_CACHE[key] = info
+        while len(_DESIGN_CACHE) > _DESIGN_CACHE_MAX:
+            _DESIGN_CACHE.popitem(last=False)
+    return info
+
+
+def _block_groups(shape: Tuple[int, ...], block_shape: Tuple[int, ...]) -> List[_BlockGroup]:
+    """Group the C-order block decomposition of ``shape`` by block shape.
+
+    Every group carries an ``(n_blocks, block_elems)`` table of flat indices, so
+    extracting (or scattering back) all same-shaped blocks is one fancy-indexing
+    operation.  Tables are cached per ``(shape, block_shape)``, mirroring the
+    wavefront decoder's plan cache.
+    """
+    key = (tuple(shape), tuple(block_shape))
+    with _PREDICTOR_CACHE_LOCK:
+        groups = _GROUP_CACHE.get(key)
+        if groups is not None:
+            _GROUP_CACHE.move_to_end(key)
+            return groups
+    strides = [int(np.prod(shape[d + 1 :])) for d in range(len(shape))]
+    by_shape: Dict[Tuple[int, ...], Tuple[List[int], List[int]]] = {}
+    for position, block_slices in enumerate(iter_blocks(shape, block_shape)):
+        bshape = tuple(s.stop - s.start for s in block_slices)
+        base = sum(s.start * stride for s, stride in zip(block_slices, strides))
+        positions, bases = by_shape.setdefault(bshape, ([], []))
+        positions.append(position)
+        bases.append(base)
+    groups = []
+    for bshape, (positions, bases) in by_shape.items():
+        coords = np.indices(bshape).reshape(len(bshape), -1)
+        within = sum(coords[d] * strides[d] for d in range(len(bshape)))
+        gather = np.asarray(bases, dtype=np.int64)[:, None] + np.asarray(within, dtype=np.int64)[None, :]
+        groups.append(_BlockGroup(bshape, np.asarray(positions, dtype=np.int64), gather))
+    with _PREDICTOR_CACHE_LOCK:
+        _GROUP_CACHE[key] = groups
+        total = sum(g.gather.size for gs in _GROUP_CACHE.values() for g in gs)
+        while total > _GROUP_CACHE_MAX_ELEMENTS and len(_GROUP_CACHE) > 1:
+            _, evicted = _GROUP_CACHE.popitem(last=False)
+            total -= sum(g.gather.size for g in evicted)
+    return groups
+
+
+def _fit_batch(info: _DesignInfo, y: np.ndarray) -> np.ndarray:
+    """Normal-equation hyperplane fit of ``y`` (``(n_blocks, elems)`` float64).
+
+    Returns float32 coefficient rows padded to ``ndim + 1`` entries.  The
+    arithmetic — per-column products summed along the last axis, then the
+    inverse applied row by row in fixed order — is elementwise over the block
+    batch, so fitting ``n`` blocks at once is bit-identical to fitting each
+    alone (:func:`_fit_single`).
+    """
+    k = len(info.active_cols)
+    dty = np.empty((y.shape[0], k), dtype=np.float64)
+    for c in range(k):
+        dty[:, c] = (y * info.design[:, c]).sum(axis=-1)
+    coeffs = np.zeros((y.shape[0], k), dtype=np.float64)
+    for j in range(k):
+        coeffs += dty[:, j : j + 1] * info.inv_normal[j][None, :]
+    full = np.zeros((y.shape[0], len(info.block_shape) + 1), dtype=np.float32)
+    full[:, list(info.active_cols)] = coeffs.astype(np.float32)
+    return full
+
+
+def _fit_single(info: _DesignInfo, y: np.ndarray) -> np.ndarray:
+    """Scalar-path fit of one raveled float64 block; mirrors :func:`_fit_batch`."""
+    k = len(info.active_cols)
+    dty = np.empty(k, dtype=np.float64)
+    for c in range(k):
+        dty[c] = (y * info.design[:, c]).sum()
+    coeffs = np.zeros(k, dtype=np.float64)
+    for j in range(k):
+        coeffs += dty[j] * info.inv_normal[j]
+    full = np.zeros(len(info.block_shape) + 1, dtype=np.float32)
+    full[list(info.active_cols)] = coeffs.astype(np.float32)
+    return full
+
+
+def _predict_batch(info: _DesignInfo, coeffs: np.ndarray) -> np.ndarray:
+    """Rounded hyperplane predictions for coefficient rows ``(n_blocks, ndim+1)``.
+
+    Evaluated as ``c0 + c1*x0 + c2*x1 + ...`` in fixed axis order — elementwise
+    float64 operations, so the batched and single-block paths agree bitwise.
+    """
+    c = np.asarray(coeffs, dtype=np.float64)
+    elems = info.grids[0].size if info.grids else int(np.prod(info.block_shape))
+    pred = np.broadcast_to(c[:, 0][:, None], (c.shape[0], elems)).copy()
+    for d in range(len(info.block_shape)):
+        pred += c[:, d + 1][:, None] * info.grids[d][None, :]
+    return np.rint(pred).astype(np.int64)
+
+
+def _predict_single(info: _DesignInfo, coeffs: np.ndarray) -> np.ndarray:
+    """Scalar-path counterpart of :func:`_predict_batch` for one block."""
+    c = np.asarray(coeffs, dtype=np.float64)
+    pred = np.full(info.grids[0].size, c[0], dtype=np.float64)
+    for d in range(len(info.block_shape)):
+        pred += c[d + 1] * info.grids[d]
+    return np.rint(pred).astype(np.int64)
+
+
 class RegressionPredictor:
     """SZ-style block-wise linear regression predictor.
 
     Each ``block_size**ndim`` block is approximated by a hyperplane
-    ``a0 + sum_d a_d * x_d`` fitted with least squares on the prequantized
-    codes.  Predictions depend only on the stored coefficients, never on
-    neighbouring decoded values, so encoding and decoding are both vectorised.
+    ``a0 + sum_d a_d * x_d``; coefficients are stored in the stream, so
+    decoding is independent of neighbouring values.  All same-shaped blocks
+    share one design matrix, so :meth:`encode`/:meth:`decode` run the fit and
+    the prediction as batched tensor operations over the whole block
+    population at once; :meth:`encode_reference`/:meth:`decode_reference` keep
+    the per-block scalar loop for the parity suite.
     """
 
     def __init__(self, block_size: int = 6) -> None:
@@ -127,42 +298,95 @@ class RegressionPredictor:
             raise ValueError("block_size must be at least 2")
         self.block_size = int(block_size)
 
-    def _design_matrix(self, block_shape: Tuple[int, ...]) -> np.ndarray:
-        grids = np.meshgrid(*[np.arange(s, dtype=np.float64) for s in block_shape], indexing="ij")
-        columns = [np.ones(int(np.prod(block_shape)))]
-        columns.extend(g.ravel() for g in grids)
-        return np.stack(columns, axis=1)
+    def _block_shape(self, ndim: int) -> Tuple[int, ...]:
+        return tuple(self.block_size for _ in range(ndim))
 
+    # ------------------------------ encode ----------------------------- #
     def encode(self, codes: np.ndarray) -> Tuple[np.ndarray, RegressionCoefficients]:
-        """Fit block hyperplanes and return ``(residuals, coefficients)``."""
+        """Fit block hyperplanes (batched) and return ``(residuals, coefficients)``."""
+        codes = np.ascontiguousarray(np.asarray(codes, dtype=np.int64))
+        ensure_ndim(codes, (1, 2, 3), "codes")
+        block_shape = self._block_shape(codes.ndim)
+        groups = _block_groups(codes.shape, block_shape)
+        n_blocks = sum(len(g.positions) for g in groups)
+        flat = codes.reshape(-1)
+        residual_flat = np.empty_like(flat)
+        coeff_arr = np.zeros((n_blocks, codes.ndim + 1), dtype=np.float32)
+        for group in groups:
+            info = _design_info(group.block_shape)
+            y_int = flat[group.gather]
+            coeffs = _fit_batch(info, y_int.astype(np.float64))
+            coeff_arr[group.positions] = coeffs
+            residual_flat[group.gather] = y_int - _predict_batch(info, coeffs)
+        return residual_flat.reshape(codes.shape), RegressionCoefficients(block_shape, coeff_arr)
+
+    def encode_reference(self, codes: np.ndarray) -> Tuple[np.ndarray, RegressionCoefficients]:
+        """Per-block scalar fit; bit-identical to :meth:`encode` by construction."""
         codes = np.asarray(codes, dtype=np.int64)
         ensure_ndim(codes, (1, 2, 3), "codes")
-        block_shape = tuple(self.block_size for _ in range(codes.ndim))
+        block_shape = self._block_shape(codes.ndim)
         residuals = np.empty_like(codes)
         all_coeffs: List[np.ndarray] = []
         for block_slices in iter_blocks(codes.shape, block_shape):
-            block = codes[block_slices].astype(np.float64)
-            design = self._design_matrix(block.shape)
-            coeffs, *_ = np.linalg.lstsq(design, block.ravel(), rcond=None)
-            coeffs = coeffs.astype(np.float32)
-            pred = np.rint(design @ coeffs.astype(np.float64)).astype(np.int64).reshape(block.shape)
-            residuals[block_slices] = codes[block_slices] - pred
-            # pad coefficient vector to ndim+1 (blocks at the edge keep full rank here)
+            block = codes[block_slices]
+            info = _design_info(block.shape)
+            y = np.ascontiguousarray(block).reshape(-1)
+            coeffs = _fit_single(info, y.astype(np.float64))
+            pred = _predict_single(info, coeffs).reshape(block.shape)
+            residuals[block_slices] = block - pred
             all_coeffs.append(coeffs)
         coeff_arr = np.stack(all_coeffs, axis=0)
         return residuals, RegressionCoefficients(block_shape, coeff_arr)
 
+    # ------------------------------ decode ----------------------------- #
+    @staticmethod
+    def _check_rank(residuals: np.ndarray, coefficients: RegressionCoefficients) -> None:
+        if len(coefficients.block_shape) != residuals.ndim:
+            raise ValueError(
+                f"coefficient block shape {coefficients.block_shape} does not match "
+                f"{residuals.ndim}D residuals"
+            )
+
+    def _check_coefficients(
+        self, residuals: np.ndarray, coefficients: RegressionCoefficients, n_blocks: int
+    ) -> None:
+        self._check_rank(residuals, coefficients)
+        if n_blocks != coefficients.coefficients.shape[0]:
+            raise ValueError(
+                f"coefficient count {coefficients.coefficients.shape[0]} does not match "
+                f"the {n_blocks}-block decomposition of shape {residuals.shape}"
+            )
+
     def decode(self, residuals: np.ndarray, coefficients: RegressionCoefficients) -> np.ndarray:
-        """Reconstruct the codes from residuals and stored coefficients."""
+        """Reconstruct the codes from residuals and stored coefficients (batched)."""
+        residuals = np.ascontiguousarray(np.asarray(residuals, dtype=np.int64))
+        ensure_ndim(residuals, (1, 2, 3), "residuals")
+        self._check_rank(residuals, coefficients)
+        groups = _block_groups(residuals.shape, coefficients.block_shape)
+        n_blocks = sum(len(g.positions) for g in groups)
+        self._check_coefficients(residuals, coefficients, n_blocks)
+        res_flat = residuals.reshape(-1)
+        out_flat = np.empty_like(res_flat)
+        for group in groups:
+            info = _design_info(group.block_shape)
+            coeffs = coefficients.coefficients[group.positions]
+            out_flat[group.gather] = _predict_batch(info, coeffs) + res_flat[group.gather]
+        return out_flat.reshape(residuals.shape)
+
+    def decode_reference(
+        self, residuals: np.ndarray, coefficients: RegressionCoefficients
+    ) -> np.ndarray:
+        """Per-block scalar decode; bit-identical to :meth:`decode` by construction."""
         residuals = np.asarray(residuals, dtype=np.int64)
+        ensure_ndim(residuals, (1, 2, 3), "residuals")
+        self._check_rank(residuals, coefficients)
         codes = np.empty_like(residuals)
         blocks = list(iter_blocks(residuals.shape, coefficients.block_shape))
-        if len(blocks) != coefficients.coefficients.shape[0]:
-            raise ValueError("coefficient count does not match block decomposition")
+        self._check_coefficients(residuals, coefficients, len(blocks))
         for block_slices, coeffs in zip(blocks, coefficients.coefficients):
             block_shape = tuple(s.stop - s.start for s in block_slices)
-            design = self._design_matrix(block_shape)
-            pred = np.rint(design @ coeffs.astype(np.float64)).astype(np.int64).reshape(block_shape)
+            info = _design_info(block_shape)
+            pred = _predict_single(info, coeffs).reshape(block_shape)
             codes[block_slices] = pred + residuals[block_slices]
         return codes
 
@@ -170,6 +394,10 @@ class RegressionPredictor:
 # --------------------------------------------------------------------------- #
 # Interpolation predictor
 # --------------------------------------------------------------------------- #
+_INTERP_PASS_CACHE: "OrderedDict[Tuple[int, ...], List[Tuple[np.ndarray, np.ndarray, np.ndarray]]]" = OrderedDict()
+_INTERP_CACHE_MAX = 64
+
+
 class InterpolationPredictor:
     """SZ3-style multi-level linear interpolation predictor.
 
@@ -178,26 +406,35 @@ class InterpolationPredictor:
     of its two neighbours at ``±stride`` along the current dimension (or copied
     from the left neighbour at the boundary).  Prediction only ever uses points
     reconstructed in earlier passes, so the decoder can replay the identical
-    traversal.
+    traversal.  The pass tables for a shape are cached at module level and
+    shared across instances (the compressor builds a fresh predictor per call).
     """
-
-    def __init__(self) -> None:
-        self._pass_cache = {}
 
     # -------------------------- traversal ----------------------------- #
     def _passes(self, shape: Tuple[int, ...]) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Return the interpolation passes for ``shape``.
+        """Return the (cached) interpolation passes for ``shape``.
 
         Each pass is ``(targets, left, right)`` where the entries are arrays of
         flat indices; ``right`` entries equal to ``-1`` mean "no right
         neighbour" (boundary), in which case prediction copies the left value.
         """
-        if shape in self._pass_cache:
-            return self._pass_cache[shape]
+        with _PREDICTOR_CACHE_LOCK:
+            cached = _INTERP_PASS_CACHE.get(shape)
+            if cached is not None:
+                _INTERP_PASS_CACHE.move_to_end(shape)
+                return cached
+        passes = self._build_passes(shape)
+        with _PREDICTOR_CACHE_LOCK:
+            _INTERP_PASS_CACHE[shape] = passes
+            while len(_INTERP_PASS_CACHE) > _INTERP_CACHE_MAX:
+                _INTERP_PASS_CACHE.popitem(last=False)
+        return passes
+
+    @staticmethod
+    def _build_passes(shape: Tuple[int, ...]) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
         ndim = len(shape)
         max_dim = max(shape)
         max_level = max(int(np.ceil(np.log2(max_dim))), 1)
-        strides_per_axis = []
 
         passes: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         known = np.zeros(shape, dtype=bool)
@@ -225,7 +462,6 @@ class InterpolationPredictor:
                         continue
                     step = stride if other < axis else 2 * stride
                     other_coords.append(np.arange(0, shape[other], max(step, 1)))
-                grids = []
                 mesh_inputs = []
                 for other in range(ndim):
                     if other == axis:
@@ -263,7 +499,6 @@ class InterpolationPredictor:
 
         if not bool(known.all()):  # pragma: no cover - traversal invariant
             raise RuntimeError("interpolation traversal failed to cover every point")
-        self._pass_cache[shape] = passes
         return passes
 
     @staticmethod

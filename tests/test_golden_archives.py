@@ -26,6 +26,7 @@ GOLDEN_CODECS = {
     "hfv2": {"sz"},
     "mixed-codec": {"sz", "zfp", "lossless"},
     "timeseries": {"sz", "temporal-delta"},
+    "sz-hybrid": {"sz"},
 }
 
 
@@ -115,6 +116,32 @@ class TestV1Compatibility:
                         (a.length, a.crc32) != (b.length, b.crc32)
                         for a, b in zip(old_chunks, new_chunks)
                     ), f"{name}: v1 and v2 payloads are unexpectedly identical"
+
+
+class TestGoldenSZHybrid:
+    """The sz-hybrid fixture pins the vectorised predictor fast paths.
+
+    Each field runs a different predictor, so a change to the batched
+    wavefront/regression/interpolation decode paths that alters even one
+    decoded byte fails here — the complement of the relative parity checks in
+    ``tests/test_sz_parity.py``.
+    """
+
+    def test_covers_every_predictor(self):
+        with ArchiveReader(golden_path("sz-hybrid")) as reader:
+            predictors = {
+                entry.codec_params.get("predictor") for entry in reader.fields()
+            }
+        assert predictors == {"lorenzo", "regression", "interpolation"}
+
+    def test_predictor_params_pinned_in_manifest(self):
+        payload = json.loads(
+            golden_path("sz-hybrid").with_suffix(".manifest.json").read_text()
+        )
+        by_name = {f["name"]: f for f in payload["fields"]}
+        assert by_name["FLNT"]["codec_params"]["predictor"] == "lorenzo"
+        assert by_name["FLNTC"]["codec_params"]["predictor"] == "regression"
+        assert by_name["LWCF"]["codec_params"]["predictor"] == "interpolation"
 
 
 class TestGoldenTimeseries:
