@@ -87,17 +87,25 @@ class CompressedBlob:
         return header + bytes(body)
 
     @classmethod
-    def from_bytes(cls, payload: bytes) -> "CompressedBlob":
-        """Parse a blob serialized by :meth:`to_bytes`, verifying magic and CRC."""
+    def from_bytes(cls, payload) -> "CompressedBlob":
+        """Parse a blob serialized by :meth:`to_bytes`, verifying magic and CRC.
+
+        Accepts any bytes-like object — in particular a ``memoryview`` over a
+        memory-mapped archive.  Parsing is zero-copy until the per-section
+        extraction: header fields come from ``struct.unpack_from``, the CRC
+        runs directly over the buffer, and only each section's final payload
+        is materialised as ``bytes``.
+        """
+        view = memoryview(payload)
         header_size = struct.calcsize(_HEADER_FMT)
-        if len(payload) < header_size:
+        if len(view) < header_size:
             raise ValueError("payload too small to be a compressed blob")
-        magic, version, n_sections, crc = struct.unpack_from(_HEADER_FMT, payload, 0)
+        magic, version, n_sections, crc = struct.unpack_from(_HEADER_FMT, view, 0)
         if magic != MAGIC:
             raise ValueError(f"bad magic {magic!r}; not a cross-field compression container")
         if version != 1:
             raise ValueError(f"unsupported container version {version}")
-        body = payload[header_size:]
+        body = view[header_size:]
         if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
             raise ValueError("container CRC mismatch: payload is corrupted")
         offset = 0
@@ -107,7 +115,7 @@ class CompressedBlob:
         offset += 4
         if len(body) < offset + meta_len:
             raise ValueError("container truncated: metadata shorter than declared")
-        metadata = json.loads(body[offset : offset + meta_len].decode("utf-8"))
+        metadata = json.loads(bytes(body[offset : offset + meta_len]).decode("utf-8"))
         offset += meta_len
         section_header = struct.calcsize(_SECTION_HEADER_FMT)
         sections: Dict[str, bytes] = {}
@@ -118,7 +126,7 @@ class CompressedBlob:
             offset += section_header
             if len(body) < offset + name_len + payload_len:
                 raise ValueError("container truncated: section shorter than declared")
-            name = body[offset : offset + name_len].decode("utf-8")
+            name = bytes(body[offset : offset + name_len]).decode("utf-8")
             offset += name_len
             sections[name] = bytes(body[offset : offset + payload_len])
             offset += payload_len

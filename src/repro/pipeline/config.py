@@ -37,6 +37,8 @@ PathLike = Union[str, os.PathLike]
 
 _EXECUTOR_KINDS = ("thread", "serial")
 
+_IO_BACKENDS = ("auto", "file", "mmap")
+
 
 class PipelineConfigError(ValueError):
     """Raised when a pipeline configuration is malformed or inconsistent."""
@@ -217,6 +219,11 @@ class PipelineConfig:
     max_workers:
         Deprecated alias for ``jobs`` (kept for configs written before the
         engine existed); ``jobs`` wins when both are set.
+    io_backend:
+        Archive read backend for ``decompress`` / ``verify``: ``"auto"``
+        (default — mmap where possible), ``"mmap"``, or ``"file"`` (see
+        :mod:`repro.store.bytestore`).  The write path always uses the file
+        backend.
     temporal:
         Default streaming-ingest rule applied to every field of a
         time-stepped run (``{"mode": "delta", "anchor_every": K, "base": ...}``,
@@ -239,6 +246,7 @@ class PipelineConfig:
     jobs: Optional[int] = None
     max_workers: Optional[int] = None
     executor_kind: str = "thread"
+    io_backend: str = "auto"
     temporal: Optional[Dict] = None
     fields: Dict[str, FieldRule] = field(default_factory=dict)
     source: Optional[str] = None
@@ -309,6 +317,10 @@ class PipelineConfig:
         if self.executor_kind not in _EXECUTOR_KINDS:
             raise PipelineConfigError(
                 f"executor_kind must be one of {_EXECUTOR_KINDS}, got {self.executor_kind!r}"
+            )
+        if self.io_backend not in _IO_BACKENDS:
+            raise PipelineConfigError(
+                f"io_backend must be one of {_IO_BACKENDS}, got {self.io_backend!r}"
             )
         for knob in ("jobs", "max_workers"):
             value = getattr(self, knob)
@@ -419,6 +431,10 @@ class PipelineConfig:
             payload["jobs"] = int(self.jobs)
         if self.max_workers is not None:
             payload["max_workers"] = int(self.max_workers)
+        if self.io_backend != "auto":
+            # emitted only when overridden: existing configs (and the config
+            # JSON archives record in their attrs) stay byte-identical
+            payload["io_backend"] = self.io_backend
         if self.temporal is not None:
             payload["temporal"] = dict(self.temporal)
         if self.fields:
@@ -446,6 +462,7 @@ class PipelineConfig:
                 "jobs",
                 "max_workers",
                 "executor_kind",
+                "io_backend",
                 "temporal",
                 "fields",
                 "source",
@@ -474,6 +491,7 @@ class PipelineConfig:
             jobs=payload.get("jobs"),
             max_workers=payload.get("max_workers"),
             executor_kind=payload.get("executor_kind", "thread"),
+            io_backend=payload.get("io_backend", "auto"),
             temporal=payload.get("temporal"),
             fields={
                 str(name): FieldRule.from_dict(rule, context=f"field {name!r}")

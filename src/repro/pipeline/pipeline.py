@@ -441,6 +441,7 @@ class CompressionPipeline:
             path,
             jobs=self.config.effective_jobs,
             executor_kind=self.config.executor_kind,
+            backend=self.config.io_backend,
         )
 
 

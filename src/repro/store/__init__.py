@@ -20,6 +20,10 @@ every K steps bound random access in time), and
   :class:`~repro.store.codecs.Codec` interface; new backends plug in via
   :func:`~repro.store.codecs.register_codec`.
 - :mod:`repro.store.temporal` — the :class:`TemporalSpec` time-coding policy.
+- :mod:`repro.store.bytestore` — the :class:`ByteStore` I/O abstraction
+  (file / mmap / in-memory backends) both directions read through.
+- :mod:`repro.store.shared_cache` — the process-wide
+  :class:`SharedChunkCache` with single-flight decode deduplication.
 - :mod:`repro.store.writer` — streaming-append :class:`ArchiveWriter` with
   parallel per-chunk compression, append/reopen mode and
   :meth:`~repro.store.writer.ArchiveWriter.add_timestep`.
@@ -37,7 +41,14 @@ documented in ``docs/timeseries.md``; the high-level, config-driven API over
 this store lives in :mod:`repro.pipeline`.
 """
 
-from repro.store.cache import LRUChunkCache
+from repro.store.bytestore import (
+    ByteStore,
+    FileByteStore,
+    MemoryByteStore,
+    MmapByteStore,
+    open_bytestore,
+)
+from repro.store.cache import LRUChunkCache, freeze_chunk
 from repro.store.codecs import (
     Codec,
     CrossFieldChunkCodec,
@@ -58,12 +69,21 @@ from repro.store.manifest import (
     TimestepEntry,
 )
 from repro.store.reader import ArchiveReader
+from repro.store.shared_cache import SharedChunkCache, process_chunk_cache
 from repro.store.temporal import TemporalSpec
 from repro.store.writer import ArchiveWriter, stored_field_name
 
 __all__ = [
     "ArchiveWriter",
     "ArchiveReader",
+    "ByteStore",
+    "FileByteStore",
+    "MmapByteStore",
+    "MemoryByteStore",
+    "open_bytestore",
+    "SharedChunkCache",
+    "process_chunk_cache",
+    "freeze_chunk",
     "ArchiveManifest",
     "ChunkEntry",
     "FieldEntry",

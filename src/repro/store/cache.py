@@ -11,14 +11,33 @@ chunks first.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
-__all__ = ["LRUChunkCache"]
+__all__ = ["LRUChunkCache", "freeze_chunk"]
 
 #: Default cache budget: 128 MiB of decompressed chunk data.
 DEFAULT_CACHE_BYTES = 128 * 1024 * 1024
+
+
+def freeze_chunk(chunk: np.ndarray) -> np.ndarray:
+    """Return a read-only array safe to hand out from a cache.
+
+    Cached chunks are shared across callers (and, through the shared cache,
+    across readers), so a caller mutating a returned chunk must never corrupt
+    later hits — and the cache must never keep a view into a buffer it does
+    not own (an mmap page, a codec scratch array).  Arrays that borrow their
+    memory are copied; the result is then marked non-writeable.  Arrays that
+    already own their data are frozen in place without a copy, which is the
+    common case: codec decodes end in a fresh ``.copy()``.
+    """
+    arr = np.asarray(chunk)
+    if arr.base is not None or not arr.flags.owndata:
+        arr = arr.copy()
+    if arr.flags.writeable:
+        arr.setflags(write=False)
+    return arr
 
 
 class LRUChunkCache:
@@ -68,9 +87,14 @@ class LRUChunkCache:
         return self._entries[key]
 
     def put(self, key: Hashable, chunk: np.ndarray) -> None:
-        """Insert a chunk, evicting LRU entries until the budget is respected."""
+        """Insert a chunk, evicting LRU entries until the budget is respected.
+
+        The stored array is frozen via :func:`freeze_chunk`: read-only, and
+        copied first if it did not own its memory.
+        """
         if self.max_bytes == 0:
             return
+        chunk = freeze_chunk(chunk)
         if key in self._entries:
             self._nbytes -= int(self._entries.pop(key).nbytes)
         nbytes = int(chunk.nbytes)
@@ -91,6 +115,16 @@ class LRUChunkCache:
         """Drop every cached chunk (statistics are kept)."""
         self._entries.clear()
         self._nbytes = 0
+
+    def keys(self) -> List[Hashable]:
+        """A snapshot list of the current keys, LRU first."""
+        return list(self._entries)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key`` if present (no-op otherwise; not counted as eviction)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._nbytes -= int(entry.nbytes)
 
     @property
     def stats(self) -> Dict[str, int]:

@@ -70,6 +70,11 @@ class Codec(ABC):
     is_lossless: bool = False
     #: True when encode/decode need aligned anchor chunks.
     requires_anchors: bool = False
+    #: True when :meth:`decode` accepts any bytes-like payload (memoryview
+    #: included), letting the reader hand mmap-backed buffers in zero-copy.
+    #: Codecs that require a real ``bytes`` object keep the default; the
+    #: reader then materialises the payload before calling them.
+    decode_accepts_buffer: bool = False
 
     @abstractmethod
     def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
@@ -109,6 +114,7 @@ class SZChunkCodec(Codec):
     """
 
     name = "sz"
+    decode_accepts_buffer = True
 
     def __init__(
         self,
@@ -158,6 +164,7 @@ class ZFPChunkCodec(Codec):
     """Chunk codec backed by the transform-based ZFP-like compressor."""
 
     name = "zfp"
+    decode_accepts_buffer = True
 
     def __init__(
         self,
@@ -212,6 +219,7 @@ class CrossFieldChunkCodec(Codec):
 
     name = "cross-field"
     requires_anchors = True
+    decode_accepts_buffer = True
 
     def __init__(
         self,
@@ -280,6 +288,7 @@ class LosslessChunkCodec(Codec):
 
     name = "lossless"
     is_lossless = True
+    decode_accepts_buffer = True
 
     format_name = "lossless-chunk"
 
@@ -361,6 +370,9 @@ class TemporalDeltaCodec(Codec):
         else:
             self.error_bound = _as_error_bound(error_bound)
             self._base = get_codec(base, error_bound=self.error_bound, **self.base_params)
+        # residual payloads go straight to the base codec, so buffer support
+        # is exactly whatever the base declares
+        self.decode_accepts_buffer = getattr(self._base, "decode_accepts_buffer", False)
 
     def _previous(self, anchors: Optional[Sequence[np.ndarray]]) -> np.ndarray:
         if not anchors or len(anchors) != 1:

@@ -38,7 +38,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -437,28 +437,42 @@ class ArchiveManifest:
 # --------------------------------------------------------------------------- #
 # footer-first manifest loading and crash recovery
 # --------------------------------------------------------------------------- #
-def read_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int, int]:
+def _source_size(src) -> int:
+    """Byte count of a manifest source: a ByteStore or a seekable file handle."""
+    if hasattr(src, "pread"):
+        return src.size()
+    src.seek(0, os.SEEK_END)
+    return src.tell()
+
+
+def _source_read(src, offset: int, length: int) -> bytes:
+    """Positioned read from a ByteStore or a seekable file handle."""
+    if hasattr(src, "pread"):
+        return src.pread(offset, length)
+    src.seek(offset)
+    return src.read(length)
+
+
+def read_manifest(fh) -> Tuple["ArchiveManifest", int, int]:
     """Load the newest manifest of an archive, footer-first.
 
-    Returns ``(manifest, manifest_offset, published_end)`` where
+    ``fh`` may be a seekable binary file handle or any
+    :class:`~repro.store.bytestore.ByteStore`.  Returns
+    ``(manifest, manifest_offset, published_end)`` where
     ``published_end`` is the file offset one past the footer (== file size for
     a cleanly closed archive).  Raises :class:`ArchiveCorruptionError` when
     the framing or CRCs are inconsistent — e.g. an append session crashed
     after writing payload bytes but before its flush completed, leaving the
     last *published* footer buried mid-file (see :func:`recover_manifest`).
     """
-    fh.seek(0, os.SEEK_END)
-    file_size = fh.tell()
+    file_size = _source_size(fh)
     if file_size < HEADER_SIZE + FOOTER_SIZE:
         raise ArchiveCorruptionError("file too small to be an XFA1 archive")
-    fh.seek(0)
-    unpack_header(fh.read(HEADER_SIZE))
-    fh.seek(file_size - FOOTER_SIZE)
-    offset, length, crc = unpack_footer(fh.read(FOOTER_SIZE))
+    unpack_header(_source_read(fh, 0, HEADER_SIZE))
+    offset, length, crc = unpack_footer(_source_read(fh, file_size - FOOTER_SIZE, FOOTER_SIZE))
     if offset + length > file_size - FOOTER_SIZE:
         raise ArchiveCorruptionError("footer points past the end of the file")
-    fh.seek(offset)
-    manifest_bytes = fh.read(length)
+    manifest_bytes = _source_read(fh, offset, length)
     if (zlib.crc32(manifest_bytes) & 0xFFFFFFFF) != crc:
         raise ArchiveCorruptionError("manifest CRC mismatch: archive is corrupted")
     return ArchiveManifest.from_json(manifest_bytes), offset, file_size
@@ -467,10 +481,12 @@ def read_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int, int]:
 _RECOVERY_WINDOW = 1 << 20  # scan the tail in 1 MiB blocks
 
 
-def recover_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int]:
+def recover_manifest(fh) -> Tuple["ArchiveManifest", int]:
     """Find the newest *valid* manifest by scanning the file backwards.
 
-    Every flush of an append session leaves a ``manifest + footer`` pair in
+    ``fh`` may be a seekable binary file handle or any
+    :class:`~repro.store.bytestore.ByteStore`.  Every flush of an append
+    session leaves a ``manifest + footer`` pair in
     the file; only the newest one is reachable footer-first.  When the tail
     was lost (crash mid-append, truncated copy), this scans backwards for
     footer magic candidates, validates each (footer immediately follows its
@@ -482,28 +498,24 @@ def recover_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int]:
     Raises :class:`ArchiveCorruptionError` when no valid manifest exists
     anywhere in the file (including a bad header).
     """
-    fh.seek(0, os.SEEK_END)
-    file_size = fh.tell()
+    file_size = _source_size(fh)
     if file_size < HEADER_SIZE + FOOTER_SIZE:
         raise ArchiveCorruptionError("file too small to be an XFA1 archive")
-    fh.seek(0)
-    unpack_header(fh.read(HEADER_SIZE))
+    unpack_header(_source_read(fh, 0, HEADER_SIZE))
 
     def try_candidate(footer_end: int) -> Optional[Tuple["ArchiveManifest", int]]:
         footer_start = footer_end - FOOTER_SIZE
         if footer_start < HEADER_SIZE:
             return None
-        fh.seek(footer_start)
         try:
-            offset, length, crc = unpack_footer(fh.read(FOOTER_SIZE))
+            offset, length, crc = unpack_footer(_source_read(fh, footer_start, FOOTER_SIZE))
         except ArchiveError:
             return None
         # the writer always places a footer immediately after its manifest;
         # enforcing that here rejects payload bytes that merely contain magic
         if offset < HEADER_SIZE or offset + length != footer_start:
             return None
-        fh.seek(offset)
-        manifest_bytes = fh.read(length)
+        manifest_bytes = _source_read(fh, offset, length)
         if (zlib.crc32(manifest_bytes) & 0xFFFFFFFF) != crc:
             return None
         try:
@@ -516,10 +528,9 @@ def recover_manifest(fh: BinaryIO) -> Tuple["ArchiveManifest", int]:
     high = file_size
     while high > HEADER_SIZE:
         low = max(HEADER_SIZE, high - _RECOVERY_WINDOW)
-        fh.seek(low)
         # overlap the next block by magic_len-1 bytes so a magic string
         # straddling the block boundary is still found
-        window = fh.read(min(high + magic_len - 1, file_size) - low)
+        window = _source_read(fh, low, min(high + magic_len - 1, file_size) - low)
         search_end = len(window)
         while True:
             found = window.rfind(MAGIC, 0, search_end)

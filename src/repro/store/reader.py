@@ -8,15 +8,20 @@ cache so repeated reads of nearby regions are served hot.
 
 Multi-chunk reads and :meth:`~ArchiveReader.verify` fan chunks out through the
 shared :class:`~repro.parallel.engine.ChunkScheduler` (the same engine the
-writer compresses through): payload I/O serialises on the file-handle lock,
-codec decodes run outside every lock, and decoded chunks are assembled into a
+writer compresses through): payload I/O goes through a
+:class:`~repro.store.bytestore.ByteStore` backend — lock-free zero-copy slices
+on the default mmap backend, one seek/read mutex on the file backend — codec
+decodes run outside every lock, and decoded chunks are assembled into a
 preallocated output array as they arrive, in completion order.  ``jobs=1``
 (or ``executor_kind="serial"``) restores the serial reference loop.
 
 The chunk-fetch engine lives in :class:`ChunkFetcher`, shared with
 :class:`~repro.store.writer.ArchiveWriter`: the writer uses the same code to
 reconstruct anchor chunks for cross-field fields, guaranteeing that encode and
-decode see bit-identical anchor data.
+decode see bit-identical anchor data.  Readers can additionally plug into a
+process-wide :class:`~repro.store.shared_cache.SharedChunkCache`
+(``shared_cache=True``) so concurrent readers of one archive decode every hot
+chunk exactly once.
 """
 
 from __future__ import annotations
@@ -27,14 +32,16 @@ import threading
 import time
 import zlib
 from pathlib import Path
-from typing import BinaryIO, Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.obs import recorder as _obs
 from repro.parallel.engine import ChunkScheduler
-from repro.store.cache import DEFAULT_CACHE_BYTES, LRUChunkCache
+from repro.store.bytestore import ByteStore, FileByteStore, open_bytestore
+from repro.store.cache import DEFAULT_CACHE_BYTES, LRUChunkCache, freeze_chunk
 from repro.store.codecs import Codec, get_codec
+from repro.store.shared_cache import SharedChunkCache, process_chunk_cache
 from repro.store.manifest import (
     ArchiveCorruptionError,
     ArchiveError,
@@ -56,28 +63,46 @@ PathLike = Union[str, os.PathLike]
 class ChunkFetcher:
     """Reads, CRC-verifies, decodes and caches chunks of one archive.
 
-    ``lookup`` maps a field name to its :class:`FieldEntry`; the file handle
-    must stay open for the fetcher's lifetime.  Anchor chunks of cross-field
-    fields are fetched recursively through the same cache, so decoding one
-    cross-field chunk warms the cache for its anchors too.
+    ``store`` is a :class:`~repro.store.bytestore.ByteStore` (a raw binary
+    file handle is accepted and wrapped in a borrowed
+    :class:`~repro.store.bytestore.FileByteStore`); it must stay open for the
+    fetcher's lifetime.  ``lookup`` maps a field name to its
+    :class:`FieldEntry`.  Anchor chunks of cross-field fields are fetched
+    recursively through the same cache, so decoding one cross-field chunk
+    warms the cache for its anchors too.
+
+    When ``shared`` is given, it replaces the private LRU: lookups and
+    inserts go to the process-wide
+    :class:`~repro.store.shared_cache.SharedChunkCache` under keys prefixed
+    with ``archive_id`` (the reader's ``(st_dev, st_ino, generation)``
+    identity), and concurrent misses on one chunk coalesce onto a single
+    decode.
     """
 
     def __init__(
         self,
-        fh: BinaryIO,
+        store,
         lookup: Callable[[str], FieldEntry],
         cache: Optional[LRUChunkCache] = None,
+        shared: Optional[SharedChunkCache] = None,
+        archive_id: Tuple = (),
     ) -> None:
-        self._fh = fh
+        if not isinstance(store, ByteStore):
+            store = FileByteStore(fh=store)
+        self._store = store
         self._lookup = lookup
         self.cache = cache if cache is not None else LRUChunkCache()
+        self.shared = shared
+        self._archive_id = tuple(archive_id)
         self._codecs: Dict[str, Codec] = {}
-        # The file handle (seek+read) and the LRU cache are not thread-safe;
-        # codec decodes run outside both locks so concurrent fetchers (the
-        # writer's compression workers reconstructing anchors) only serialise
-        # on the cheap I/O and cache bookkeeping.  ``io_lock`` is shared with
-        # the writer, which takes it around its own appends to the handle.
-        self.io_lock = threading.Lock()
+        # The LRU cache is not thread-safe, and the file backend serialises
+        # seek+read on its own lock; codec decodes run outside both locks so
+        # concurrent fetchers (the writer's compression workers reconstructing
+        # anchors) only serialise on the cheap I/O and cache bookkeeping.
+        # ``io_lock`` is the store's lock where it has one (the file backend)
+        # so the writer can take it around its own appends to the handle; the
+        # mmap/memory backends read lock-free and the attribute is a dummy.
+        self.io_lock = getattr(store, "lock", None) or threading.Lock()
         self._cache_lock = threading.Lock()
         # Per-instance accounting recorder: always on, backs the public
         # ``chunks_decoded`` / ``bytes_read`` properties and ``cache_stats``.
@@ -85,6 +110,11 @@ class ChunkFetcher:
         # hit/miss counts, but only when telemetry is enabled (its methods are
         # no-ops otherwise).
         self.telemetry = _obs.Recorder()
+
+    @property
+    def store(self) -> ByteStore:
+        """The byte-store backend this fetcher reads from."""
+        return self._store
 
     @property
     def chunks_decoded(self) -> int:
@@ -127,17 +157,23 @@ class ChunkFetcher:
             codec._decode_takes_scheduler = cached
         return cached
 
-    def read_payload(self, entry: FieldEntry, chunk: ChunkEntry) -> bytes:
-        """Read one chunk's raw payload and verify its CRC."""
+    def read_payload(self, entry: FieldEntry, chunk: ChunkEntry):
+        """Read one chunk's raw payload and verify its CRC.
+
+        Returns ``bytes`` on copying backends and a zero-copy ``memoryview``
+        on the mmap/memory backends; the CRC runs directly over either.
+        Callers receiving a ``memoryview`` must release it when done (the
+        decode path does; an mmap store cannot unmap while views are alive).
+        """
         recorder = _obs.get_recorder()
         io_start = time.perf_counter()
-        with self.io_lock:
-            self._fh.seek(chunk.offset)
-            payload = self._fh.read(chunk.length)
+        payload = self._store.view(chunk.offset, chunk.length)
         recorder.observe("store.read.io_seconds", time.perf_counter() - io_start)
         self.telemetry.count("store.read.bytes_in", len(payload))
         recorder.count("store.read.bytes_in", len(payload))
         if len(payload) != chunk.length:
+            if isinstance(payload, memoryview):
+                payload.release()
             raise ArchiveCorruptionError(
                 f"field {entry.name!r} chunk {chunk.index}: archive truncated "
                 f"(wanted {chunk.length} bytes at offset {chunk.offset}, got {len(payload)})"
@@ -146,6 +182,8 @@ class ChunkFetcher:
         crc_ok = (zlib.crc32(payload) & 0xFFFFFFFF) == chunk.crc32
         recorder.observe("store.read.crc_seconds", time.perf_counter() - crc_start)
         if not crc_ok:
+            if isinstance(payload, memoryview):
+                payload.release()
             raise ArchiveCorruptionError(
                 f"field {entry.name!r} chunk {chunk.index}: CRC mismatch, chunk is corrupted"
             )
@@ -175,20 +213,51 @@ class ChunkFetcher:
         recorder = _obs.get_recorder()
         key = (name, int(index))
         if refresh and _fresh is not None and key in _fresh:
-            with self._cache_lock:
-                cached = self.cache.get(key)
+            cached = self._cache_get(key, recorder)
             if cached is not None:
-                recorder.count("store.cache.hits")
                 return cached
-            recorder.count("store.cache.misses")
             # evicted since it was verified: fall through to a fresh decode
         if not refresh:
-            with self._cache_lock:
-                cached = self.cache.get(key)
+            if self.shared is not None:
+                # single-flight: concurrent misses on this chunk (across every
+                # reader sharing the cache) coalesce onto one decode
+                return self.shared.get_or_compute(
+                    self._archive_id + key,
+                    lambda: self._decode_chunk(
+                        name, index, refresh, scheduler, _fresh, cache_result=False
+                    ),
+                )
+            cached = self._cache_get(key, recorder)
             if cached is not None:
-                recorder.count("store.cache.hits")
                 return cached
-            recorder.count("store.cache.misses")
+        return self._decode_chunk(name, index, refresh, scheduler, _fresh)
+
+    def _cache_get(self, key, recorder) -> Optional[np.ndarray]:
+        """Cache lookup through whichever cache is active, with hit/miss counts."""
+        if self.shared is not None:
+            return self.shared.get(self._archive_id + key)
+        with self._cache_lock:
+            cached = self.cache.get(key)
+        recorder.count("store.cache.hits" if cached is not None else "store.cache.misses")
+        return cached
+
+    def _decode_chunk(
+        self,
+        name: str,
+        index: int,
+        refresh: bool,
+        scheduler: Optional[ChunkScheduler],
+        _fresh: Optional[set],
+        cache_result: bool = True,
+    ) -> np.ndarray:
+        """Read, CRC-check and decode one chunk from the store (no cache lookup).
+
+        ``cache_result=False`` skips the cache insert — the shared cache's
+        single-flight path stores the result itself.  The returned array is
+        always read-only (:func:`~repro.store.cache.freeze_chunk`).
+        """
+        recorder = _obs.get_recorder()
+        key = (name, int(index))
         entry = self._lookup(name)
         if not 0 <= index < len(entry.chunks):
             raise ArchiveCorruptionError(
@@ -201,22 +270,37 @@ class ChunkFetcher:
                 f"field {name!r}: chunk list out of order ({chunk.index} at position {index})"
             )
         payload = self.read_payload(entry, chunk)
-        anchors = None
-        if entry.anchors:
-            # refresh propagates: a deep verify must not decode the target
-            # against stale cached anchors (the memo keeps that one-decode-
-            # per-chunk within a single pass)
-            anchors = [
-                self.get_chunk(anchor, index, refresh=refresh, scheduler=scheduler, _fresh=_fresh)
-                for anchor in entry.anchors
-            ]
-        decode_start = time.perf_counter()
-        decoded = self._decode_with(self.codec_for(entry), payload, anchors, scheduler)
-        decode_seconds = time.perf_counter() - decode_start
+        payload_len = len(payload)
+        try:
+            anchors = None
+            if entry.anchors:
+                # refresh propagates: a deep verify must not decode the target
+                # against stale cached anchors (the memo keeps that one-decode-
+                # per-chunk within a single pass)
+                anchors = [
+                    self.get_chunk(
+                        anchor, index, refresh=refresh, scheduler=scheduler, _fresh=_fresh
+                    )
+                    for anchor in entry.anchors
+                ]
+            codec = self.codec_for(entry)
+            if isinstance(payload, memoryview) and not getattr(
+                codec, "decode_accepts_buffer", False
+            ):
+                # codec insists on real bytes: materialise the view once
+                buf = payload.tobytes()
+                payload.release()
+                payload = buf
+            decode_start = time.perf_counter()
+            decoded = self._decode_with(codec, payload, anchors, scheduler)
+            decode_seconds = time.perf_counter() - decode_start
+        finally:
+            if isinstance(payload, memoryview):
+                payload.release()
         recorder.observe("store.read.decode_seconds", decode_seconds)
         if recorder.enabled:
             recorder.observe(f"store.codec.{entry.codec}.decode_seconds", decode_seconds)
-            recorder.count(f"store.codec.{entry.codec}.bytes_in", len(payload))
+            recorder.count(f"store.codec.{entry.codec}.bytes_in", payload_len)
             recorder.count(f"store.codec.{entry.codec}.bytes_out", int(decoded.nbytes))
         expected_dtype = np.dtype(entry.dtype)
         if decoded.shape != chunk.shape:
@@ -226,15 +310,21 @@ class ChunkFetcher:
             )
         if decoded.dtype != expected_dtype:
             decoded = decoded.astype(expected_dtype)
-        with self._cache_lock:
-            evictions_before = self.cache.evictions
-            self.cache.put(key, decoded)
-            evicted = self.cache.evictions - evictions_before
+        # cached chunks are shared; freeze before anyone can alias the buffer
+        decoded = freeze_chunk(decoded)
+        if cache_result:
+            if self.shared is not None:
+                self.shared.put(self._archive_id + key, decoded)
+            else:
+                with self._cache_lock:
+                    evictions_before = self.cache.evictions
+                    self.cache.put(key, decoded)
+                    evicted = self.cache.evictions - evictions_before
+                if evicted:
+                    recorder.count("store.cache.evictions", evicted)
         self.telemetry.count("store.read.chunks_decoded")
         recorder.count("store.read.chunks_decoded")
         recorder.count("store.read.bytes_out", int(decoded.nbytes))
-        if evicted:
-            recorder.count("store.cache.evictions", evicted)
         if _fresh is not None:
             _fresh.add(key)
         return decoded
@@ -248,7 +338,8 @@ class ArchiveReader:
     path:
         The archive file.
     cache_bytes / cache_entries:
-        Decoded-chunk LRU cache budget (see :class:`LRUChunkCache`).
+        Decoded-chunk LRU cache budget (see :class:`LRUChunkCache`); ignored
+        when ``shared_cache`` routes chunks to the process-wide cache.
     jobs:
         Worker count for multi-chunk reads and verification: ``None`` sizes
         the pool to the machine, ``1`` decodes serially in the calling thread.
@@ -260,9 +351,23 @@ class ArchiveReader:
         manifest instead of raising — the reader then serves everything the
         archive had durably published at that point.  The file itself is not
         modified.
+    backend:
+        I/O backend: ``"auto"`` (default — mmap where possible, file
+        otherwise), ``"mmap"`` (lock-free zero-copy reads), or ``"file"``
+        (classic seek/read under one lock).  See
+        :mod:`repro.store.bytestore`.
+    shared_cache:
+        ``None``/``False`` keeps the private per-reader LRU.  ``True`` plugs
+        into the lazily created process-wide
+        :class:`~repro.store.shared_cache.SharedChunkCache`; a
+        ``SharedChunkCache`` instance uses that cache.  Shared entries are
+        keyed by archive identity *and* manifest generation (the published
+        footer's end offset), so readers opened before and after an append
+        never see each other's chunks.
 
-    The reader is safe to share between threads: the file handle and the
-    chunk cache are internally locked, and decodes run outside both locks.
+    The reader is safe to share between threads: the byte store and the
+    chunk cache are internally synchronised, and decodes run outside every
+    lock.
 
     Examples
     --------
@@ -279,41 +384,79 @@ class ArchiveReader:
         jobs: Optional[int] = None,
         executor_kind: str = "thread",
         recover: bool = False,
+        backend: str = "auto",
+        shared_cache: Union[None, bool, SharedChunkCache] = None,
     ) -> None:
         if executor_kind == "process":
-            # chunk fetches close over the reader's file handle and cache
+            # chunk fetches close over the reader's byte store and cache
             raise ValueError(
                 "archive reads support executor_kind 'thread' or 'serial' "
-                "(chunk fetches share one file handle and cache)"
+                "(chunk fetches share one byte store and cache)"
+            )
+        if shared_cache is True:
+            shared: Optional[SharedChunkCache] = process_chunk_cache()
+        elif isinstance(shared_cache, SharedChunkCache):
+            shared = shared_cache
+        elif shared_cache in (None, False):
+            shared = None
+        else:
+            raise ValueError(
+                "shared_cache must be None, a bool, or a SharedChunkCache instance"
             )
         # reuse_pool: region reads are many-small-batches; per-call pool
         # construction would rival the decode cost of a few-chunk read
         self._scheduler = ChunkScheduler(jobs=jobs, executor_kind=executor_kind, reuse_pool=True)
         self.path = Path(path)
-        self._fh: Optional[BinaryIO] = open(self.path, "rb")
+        self._closed = False
+        self._store: Optional[ByteStore] = open_bytestore(self.path, backend)
         try:
             try:
-                self.manifest, _, _ = read_manifest(self._fh)
+                self.manifest, _, published_end = read_manifest(self._store)
             except ArchiveError:
                 if not recover:
                     raise
-                self.manifest, _ = recover_manifest(self._fh)
+                self.manifest, published_end = recover_manifest(self._store)
         except Exception:
-            self._fh.close()
-            self._fh = None
+            self._scheduler.close()
+            self._store.close()
+            self._store = None
+            self._closed = True
             raise
+        #: Manifest generation: the published end offset of the footer this
+        #: reader's manifest came from.  Monotonic per archive — every append
+        #: flush publishes a footer at a strictly larger offset — so it doubles
+        #: as the shared-cache generation token.
+        self.generation = int(published_end)
+        stat = os.stat(self.path)
+        self._archive_id = (stat.st_dev, stat.st_ino, self.generation)
         self._fetcher = ChunkFetcher(
-            self._fh,
+            self._store,
             self.manifest.__getitem__,
             LRUChunkCache(max_bytes=cache_bytes, max_entries=cache_entries),
+            shared=shared,
+            archive_id=self._archive_id,
         )
 
+    @property
+    def backend(self) -> str:
+        """Name of the resolved I/O backend (``"mmap"`` / ``"file"``)."""
+        store = self._store
+        return store.name if store is not None else "closed"
+
     def close(self) -> None:
-        """Close the underlying file handle and release the worker pool."""
+        """Release the byte store and the worker pool (idempotent).
+
+        The mmap backend unmaps deterministically here — not at GC time — and
+        raises ``BufferError`` if zero-copy payload views are still alive
+        (always a caller-side leak; the read path releases its views).
+        """
+        if self._closed:
+            return
         self._scheduler.close()
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._store is not None:
+            self._store.close()  # BufferError on leaked views propagates
+            self._store = None
+        self._closed = True
 
     def __enter__(self) -> "ArchiveReader":
         return self
@@ -322,7 +465,7 @@ class ArchiveReader:
         self.close()
 
     def _require_open(self) -> None:
-        if self._fh is None:
+        if self._closed or self._store is None:
             raise ArchiveError("archive reader is closed")
 
     # ------------------------------------------------------------------ #
@@ -347,10 +490,17 @@ class ArchiveReader:
         return [self.manifest[name] for name in self.names]
 
     def cache_stats(self) -> Dict[str, int]:
-        """Chunk-cache statistics plus decode/IO counters."""
-        stats = self._fetcher.cache.stats
+        """Chunk-cache statistics plus decode/IO counters.
+
+        ``chunks_decoded`` / ``bytes_read`` are always this reader's own work;
+        with a shared cache the hit/miss/coalesced numbers come from the
+        (process-wide) shared cache under the ``"shared"`` key.
+        """
+        stats: Dict = self._fetcher.cache.stats
         stats["chunks_decoded"] = self._fetcher.chunks_decoded
         stats["bytes_read"] = self._fetcher.bytes_read
+        if self._fetcher.shared is not None:
+            stats["shared"] = self._fetcher.shared.stats
         return stats
 
     # ------------------------------------------------------------------ #

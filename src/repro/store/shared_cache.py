@@ -1,0 +1,210 @@
+"""Process-wide chunk cache with single-flight decode deduplication.
+
+Every :class:`~repro.store.reader.ArchiveReader` historically owned a private
+LRU, so N concurrent readers of one archive decoded the same hot chunk N
+times.  :class:`SharedChunkCache` is the fix: one thread-safe cache many
+readers (and, later, many service-layer requests) share, keyed per archive
+*generation* so entries can never leak across archives or across append
+publications:
+
+``key = (st_dev, st_ino, generation, field_name, chunk_index)``
+
+where ``generation`` is the archive's published end offset — the byte just
+past the footer the reader's manifest came from.  Appends only ever publish
+*new* footers at larger offsets, so a new generation means new keys; entries
+cached for generation G stay byte-correct for every reader still holding G
+and simply age out of the LRU once those readers are gone.  No cross-thread
+invalidation race exists because stale entries are never *wrong*, only old.
+:meth:`invalidate` exists for callers that want eager eviction anyway.
+
+**Single-flight:** concurrent misses on one key do not decode redundantly.
+The first caller (the *leader*) runs the decode; every other caller blocks on
+the leader's in-flight entry and receives the same array.  If the decode
+raises, the exception propagates to the leader *and* every waiter, and the
+in-flight entry is removed so a later call retries cleanly.
+
+Telemetry (``store.cache.shared.*``): ``hits`` / ``misses`` count resolved
+lookups, ``coalesced`` counts callers that piggybacked on another thread's
+in-flight decode, and ``wait_seconds`` times how long they blocked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.store.cache import LRUChunkCache, freeze_chunk
+
+__all__ = ["SharedChunkCache", "process_chunk_cache", "DEFAULT_SHARED_CACHE_BYTES"]
+
+#: Default budget for the process-wide cache: 256 MiB of decoded chunks.
+DEFAULT_SHARED_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class _InFlight:
+    """One in-progress decode: waiters block on ``event``, then read the result."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> np.ndarray:
+        self.event.wait()
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class SharedChunkCache:
+    """Thread-safe LRU of decoded chunks with single-flight miss coalescing.
+
+    All stored arrays are read-only (see
+    :func:`~repro.store.cache.freeze_chunk`); callers needing a writable
+    chunk copy it, exactly as with the per-reader cache.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_SHARED_CACHE_BYTES,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._lru = LRUChunkCache(max_bytes=max_bytes, max_entries=max_entries)
+        self._inflight: Dict[Hashable, _InFlight] = {}
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """A cached chunk (read-only) or ``None``; counts a hit or miss."""
+        with self._lock:
+            chunk = self._lru.get(key)
+        recorder = _obs.get_recorder()
+        if recorder.enabled:
+            recorder.count("store.cache.shared.hit" if chunk is not None else "store.cache.shared.miss")
+        return chunk
+
+    def put(self, key: Hashable, chunk: np.ndarray) -> None:
+        """Insert a chunk (frozen read-only) outside any single-flight path."""
+        chunk = freeze_chunk(chunk)
+        with self._lock:
+            self._lru.put(key, chunk)
+
+    def get_or_compute(
+        self, key: Hashable, factory: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """The cached chunk for ``key``, decoding via ``factory`` at most once.
+
+        Concurrent callers with the same key block on one in-flight decode
+        instead of each running ``factory``.  A factory exception propagates
+        to every blocked caller and removes the in-flight entry, so the next
+        call after a failure retries.
+        """
+        recorder = _obs.get_recorder()
+        with self._lock:
+            chunk = self._lru.get(key)
+            if chunk is not None:
+                if recorder.enabled:
+                    recorder.count("store.cache.shared.hit")
+                return chunk
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _InFlight()
+                leader = True
+            else:
+                leader = False
+
+        if not leader:
+            self.coalesced += 1
+            if recorder.enabled:
+                recorder.count("store.cache.shared.coalesced")
+                started = time.perf_counter()
+                try:
+                    return flight.wait()
+                finally:
+                    recorder.observe(
+                        "store.cache.shared.wait_seconds", time.perf_counter() - started
+                    )
+            return flight.wait()
+
+        if recorder.enabled:
+            recorder.count("store.cache.shared.miss")
+        try:
+            value = freeze_chunk(factory())
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        with self._lock:
+            self._lru.put(key, value)
+            self._inflight.pop(key, None)
+        flight.value = value
+        flight.event.set()
+        return value
+
+    # ------------------------------------------------------------------ #
+    def invalidate(self, archive_id: Optional[Tuple] = None) -> int:
+        """Drop cached entries; returns how many were removed.
+
+        ``archive_id`` is the key prefix readers use — ``(st_dev, st_ino)``
+        drops every generation of one archive, ``(st_dev, st_ino, generation)``
+        just one.  ``None`` clears everything.  In-flight decodes are left to
+        finish (their result lands under its original key and ages out).
+        """
+        with self._lock:
+            if archive_id is None:
+                dropped = len(self._lru)
+                self._lru.clear()
+                return dropped
+            prefix = tuple(archive_id)
+            victims = [
+                key
+                for key in self._lru.keys()
+                if isinstance(key, tuple) and key[: len(prefix)] == prefix
+            ]
+            for key in victims:
+                self._lru.discard(key)
+            return len(victims)
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are kept)."""
+        self.invalidate(None)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """LRU counters plus the single-flight ``coalesced`` count."""
+        with self._lock:
+            payload = dict(self._lru.stats)
+            payload["coalesced"] = self.coalesced
+            payload["inflight"] = len(self._inflight)
+        return payload
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._lru.nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+
+_process_cache: Optional[SharedChunkCache] = None
+_process_cache_lock = threading.Lock()
+
+
+def process_chunk_cache() -> SharedChunkCache:
+    """The lazily created process-wide cache (``shared_cache=True`` readers)."""
+    global _process_cache
+    with _process_cache_lock:
+        if _process_cache is None:
+            _process_cache = SharedChunkCache()
+        return _process_cache

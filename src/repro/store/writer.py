@@ -52,6 +52,7 @@ import numpy as np
 from repro.obs import recorder as _obs
 from repro.parallel.blocks import plan_blocks
 from repro.parallel.engine import ChunkScheduler
+from repro.store.bytestore import FileByteStore
 from repro.store.cache import LRUChunkCache
 from repro.store.codecs import codec_class, get_codec
 from repro.store.manifest import (
@@ -229,8 +230,13 @@ class ArchiveWriter:
         if attrs:
             self.manifest.attrs.update(attrs)
             self._dirty = True
+        # A borrowed store: the fetcher reads through the writer's own append
+        # handle (its lock serialises anchor reads against payload writes) and
+        # close() leaves the handle to the writer.
         self._fetcher = ChunkFetcher(
-            self._fh, self.manifest.__getitem__, LRUChunkCache(max_bytes=32 * 1024 * 1024)
+            FileByteStore(fh=self._fh),
+            self.manifest.__getitem__,
+            LRUChunkCache(max_bytes=32 * 1024 * 1024),
         )
 
     def _ensure_open(self) -> None:
@@ -257,7 +263,9 @@ class ArchiveWriter:
             self._fh.write(header)
             self._offset = len(header)
             self._fetcher = ChunkFetcher(
-                self._fh, self.manifest.__getitem__, LRUChunkCache(max_bytes=32 * 1024 * 1024)
+                FileByteStore(fh=self._fh),
+                self.manifest.__getitem__,
+                LRUChunkCache(max_bytes=32 * 1024 * 1024),
             )
 
     def flush(self) -> Path:

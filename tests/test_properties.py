@@ -31,7 +31,14 @@ class TestErrorBoundProperty:
         comp = SZCompressor(error_bound=ErrorBound.relative(rel_eb), predictor=predictor)
         result = comp.compress(data)
         recon = comp.decompress(result.payload)
-        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= result.abs_error_bound * (1 + 1e-9)
+        # the bound holds on the float64 quantization lattice; casting the
+        # reconstruction back to float32 adds up to half an ulp at the data's
+        # magnitude, which dominates when the absolute bound falls below
+        # float32 resolution (e.g. a constant field, where the relative bound
+        # degenerates to a tiny absolute one)
+        cast_slack = np.spacing(np.float32(np.max(np.abs(data)))) / 2 if data.size else 0.0
+        tolerance = result.abs_error_bound * (1 + 1e-9) + cast_slack
+        assert np.max(np.abs(recon.astype(np.float64) - data.astype(np.float64))) <= tolerance
 
     @COMMON_SETTINGS
     @given(
