@@ -26,16 +26,26 @@ Fixtures:
   regression, interpolation), pinning the vectorised predict/decode fast
   paths byte-exactly: a change to the batched index-table decoders that
   alters any decoded byte fails here even if it slips past the parity suite.
+- ``zfp-progressive.xfa`` — zfp fields in the grouped (significance-ordered)
+  payload layout across 1D/2D/3D shapes, including block-ragged chunks,
+  pinning the batched transform and the per-group sections byte-exactly.
+  Note ``mixed-codec.xfa`` keeps its *legacy interleaved* zfp payload — it is
+  the backward-compat fixture and must NOT be regenerated when the zfp
+  default layout changes (use ``--only zfp-progressive``).
 
 Run from the repository root after an *intentional* format change::
 
-    PYTHONPATH=src python scripts/make_golden_archives.py
+    PYTHONPATH=src python scripts/make_golden_archives.py [--only STEM]
 
-then inspect the diff and commit the updated fixtures alongside the change.
+``--only`` regenerates a single fixture, leaving the others byte-identical —
+mandatory when adding a new fixture next to compat fixtures that pin an old
+payload layout.  Inspect the diff and commit the updated fixtures alongside
+the change.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import struct
 import sys
@@ -168,6 +178,35 @@ def build_timeseries(path: Path) -> None:
             writer.add_timestep(series[t], time=t * 0.5, temporal=spec)
 
 
+def build_zfp_progressive(path: Path) -> None:
+    from repro.store import ArchiveWriter
+    from repro.sz.errors import ErrorBound
+
+    rng = np.random.default_rng(SEED)
+    dataset = _dataset()
+    # smooth synthetic fields so the significance groups carry a real
+    # low-frequency/high-frequency split (pure noise would not)
+    line = np.cumsum(rng.normal(size=64)).astype(np.float32)
+    cube = np.cumsum(
+        np.cumsum(rng.normal(size=(8, 12, 10)), axis=1), axis=2
+    ).astype(np.float32)
+    ragged = np.cumsum(rng.normal(size=(13, 19)), axis=1).astype(np.float32)
+    bound = ErrorBound.absolute(1e-2)
+    with ArchiveWriter(path, chunk_shape=CHUNK) as writer:
+        writer.add_field("plane", dataset["FLNT"].data, codec="zfp", error_bound=bound)
+        # chunk extents not divisible by the block size: every chunk has
+        # block-ragged edges, exercising the per-block quantization step
+        writer.add_field(
+            "line", line, codec="zfp", error_bound=bound, chunk_shape=(18,)
+        )
+        writer.add_field(
+            "cube", cube, codec="zfp", error_bound=bound, chunk_shape=(4, 8, 8)
+        )
+        writer.add_field(
+            "ragged", ragged, codec="zfp", error_bound=bound, chunk_shape=(13, 19)
+        )
+
+
 def snapshot_expectations(path: Path) -> None:
     """Record the archive's decoded fields and raw manifest bytes."""
     from repro.store import ArchiveReader
@@ -195,14 +234,23 @@ BUILDERS = {
     "mixed-codec": build_mixed_codec,
     "timeseries": build_timeseries,
     "sz-hybrid": build_sz_hybrid,
+    "zfp-progressive": build_zfp_progressive,
 }
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=sorted(BUILDERS),
+        help="regenerate a single fixture, leaving the others untouched",
+    )
+    args = parser.parse_args(argv)
+    stems = [args.only] if args.only else list(BUILDERS)
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    for stem, builder in BUILDERS.items():
+    for stem in stems:
         path = GOLDEN_DIR / f"{stem}.xfa"
-        builder(path)
+        BUILDERS[stem](path)
         snapshot_expectations(path)
         size = path.stat().st_size
         print(f"{path.relative_to(REPO_ROOT)}: {size} bytes")

@@ -71,6 +71,12 @@ class Scenario:
         honouring the config's ``temporal`` rules.
     dt:
         Wall-time spacing between steps of a streaming scenario.
+    preview_fraction:
+        When set, :func:`run_scenario` additionally performs a progressive
+        *preview* read of the first field (over ``demo_region`` when one is
+        set) at this entropy-byte budget and attaches the decode report under
+        ``extras["preview"]`` — the dashboard-traffic workload for zfp
+        grouped-layout fields.
     """
 
     name: str
@@ -82,6 +88,7 @@ class Scenario:
     demo_region: Optional[Tuple[slice, ...]] = None
     steps: int = 0
     dt: float = 1.0
+    preview_fraction: Optional[float] = None
 
     def build_fieldset(self, seed: int = 0) -> FieldSet:
         """Generate (and optionally subset) the scenario's synthetic data."""
@@ -189,6 +196,17 @@ def run_scenario(
             "chunks_decoded": stats["chunks_decoded"],
             "total_chunks": total_chunks,
         }
+    if scenario.preview_fraction is not None:
+        with ArchiveReader(output, jobs=jobs) as reader:
+            field_name = reader.names[0]
+            preview, info = reader.read_region_preview(
+                field_name, scenario.demo_region, fraction=scenario.preview_fraction
+            )
+        result.extras["preview"] = {
+            "field": field_name,
+            "region_shape": list(preview.shape),
+            **info,
+        }
     return result
 
 
@@ -237,6 +255,19 @@ register_scenario(
         fields=("U", "V", "W"),
         config=PipelineConfig(codec="zfp", error_bound=1e-3, chunk_shape=(4, 16, 16)),
         demo_region=(slice(0, 4), slice(8, 24), slice(8, 24)),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="zfp-progressive",
+        description="CESM fields in the grouped ZFP layout, read back as coarse previews",
+        dataset="cesm",
+        shape=(48, 96),
+        fields=("FLNT", "FLNTC", "LWCF"),
+        config=PipelineConfig(codec="zfp", error_bound=1e-3, chunk_shape=(24, 48)),
+        demo_region=(slice(0, 48), slice(0, 48)),
+        preview_fraction=0.25,
     )
 )
 

@@ -6,6 +6,7 @@ Store subcommands drive the ``XFA1`` archive end-to-end::
     repro pack ./fieldset_dir snapshot.xfa --codec zfp       # SDRBench-style dir
     repro ls snapshot.xfa
     repro extract snapshot.xfa FLNT --region 10:40,80:160 -o flnt.npy
+    repro preview snapshot.xfa FLNT --fraction 0.25         # coarse prefix decode
     repro verify snapshot.xfa --deep
     repro unpack snapshot.xfa ./restored
 
@@ -265,6 +266,33 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_preview(args: argparse.Namespace) -> int:
+    from repro.store.reader import ArchiveReader
+
+    region = parse_region(args.region) if args.region else None
+    with ArchiveReader(args.archive, jobs=args.jobs, backend=args.io_backend) as reader:
+        data, info = reader.read_region_preview(
+            args.field, region, fraction=args.fraction
+        )
+    if args.output:
+        np.save(args.output, data)
+        destination = args.output if str(args.output).endswith(".npy") else f"{args.output}.npy"
+        print(f"wrote {destination}: shape {data.shape}, dtype {data.dtype}")
+    pct = 100.0 * info["bytes_decoded"] / info["bytes_total"] if info["bytes_total"] else 100.0
+    print(
+        f"{args.field}{' ' + args.region if args.region else ''} @ fraction {args.fraction:g}: "
+        f"shape {tuple(data.shape)}, min {data.min():.6g}, max {data.max():.6g}, "
+        f"mean {data.mean():.6g}"
+    )
+    print(
+        f"decoded {info['groups_decoded']}/{info['groups_total']} coefficient groups, "
+        f"{_human_bytes(info['bytes_decoded'])} of {_human_bytes(info['bytes_total'])} "
+        f"entropy bytes ({pct:.1f}%), rms error estimate {info['rms_error_estimate']:.6g} "
+        f"({info['chunks']} chunks)"
+    )
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.store.reader import ArchiveReader
 
@@ -511,6 +539,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{'x'.join(map(str, random_access['region_shape']))} touching "
             f"{random_access['chunks_decoded']}/{random_access['total_chunks']} chunks"
         )
+    preview = result.extras.get("preview")
+    if preview:
+        pct = (
+            100.0 * preview["bytes_decoded"] / preview["bytes_total"]
+            if preview["bytes_total"]
+            else 100.0
+        )
+        print(
+            f"preview: {preview['field']} @ fraction {preview['fraction']:g} decoded "
+            f"{preview['groups_decoded']}/{preview['groups_total']} groups, "
+            f"{_human_bytes(preview['bytes_decoded'])} of "
+            f"{_human_bytes(preview['bytes_total'])} entropy bytes ({pct:.1f}%), "
+            f"rms error estimate {preview['rms_error_estimate']:.6g}"
+        )
     if result.verified_ok is False:
         for error in result.verify_report.get("errors", []):
             print(f"error: {error}", file=sys.stderr)
@@ -756,6 +798,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     extract.add_argument("-o", "--output", help="write the region to a .npy file")
     extract.set_defaults(func=_cmd_extract)
+
+    preview = sub.add_parser(
+        "preview",
+        help="coarse progressive read of a field (or region) from payload prefixes",
+        parents=[jobs_parent],
+    )
+    preview.add_argument("archive")
+    preview.add_argument("field")
+    preview.add_argument(
+        "--region",
+        help="comma-separated slices, e.g. 10:40,80:160 (default: whole field)",
+    )
+    preview.add_argument(
+        "--fraction",
+        type=float,
+        default=0.25,
+        help="entropy-byte budget per chunk as a fraction of the full payload "
+        "(default: 0.25; zfp grouped-layout fields decode a prefix of their "
+        "significance groups, other codecs fall back to a full decode)",
+    )
+    preview.add_argument("-o", "--output", help="write the preview to a .npy file")
+    preview.set_defaults(func=_cmd_preview)
 
     verify = sub.add_parser("verify", help="check chunk CRCs (and optionally decode)", parents=[jobs_parent])
     verify.add_argument("archive")

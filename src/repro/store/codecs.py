@@ -75,6 +75,35 @@ class Codec(ABC):
     #: Codecs that require a real ``bytes`` object keep the default; the
     #: reader then materialises the payload before calling them.
     decode_accepts_buffer: bool = False
+    #: True when :meth:`decode_preview` can reconstruct a coarse chunk from a
+    #: payload prefix (progressive layouts).  Codecs without progressive
+    #: payloads keep the default; their previews fall back to a full decode.
+    supports_preview: bool = False
+
+    def decode_preview(
+        self,
+        payload: bytes,
+        fraction: float,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ):
+        """Decode a coarse preview within a byte-budget ``fraction``.
+
+        Returns ``(array, info)`` where ``info`` reports ``groups_decoded`` /
+        ``groups_total`` / ``bytes_decoded`` / ``bytes_total`` /
+        ``rms_error_estimate``.  The base implementation is the non-progressive
+        fallback: a full decode billed at its full payload size.
+        """
+        array = self.decode(payload, anchors=anchors, scheduler=scheduler)
+        nbytes = len(payload)
+        info = {
+            "groups_decoded": 1,
+            "groups_total": 1,
+            "bytes_decoded": nbytes,
+            "bytes_total": nbytes,
+            "rms_error_estimate": 0.0,
+        }
+        return array, info
 
     @abstractmethod
     def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
@@ -161,10 +190,19 @@ class SZChunkCodec(Codec):
 
 
 class ZFPChunkCodec(Codec):
-    """Chunk codec backed by the transform-based ZFP-like compressor."""
+    """Chunk codec backed by the transform-based ZFP-like compressor.
+
+    The default ``layout="grouped"`` stores each chunk's coefficients in
+    significance-ordered groups (:mod:`repro.zfp.layout`), which makes chunk
+    payloads prefix-decodable: :meth:`decode_preview` reconstructs a coarse
+    chunk from the first groups only.  ``layout="interleaved"`` writes the
+    legacy flat stream; payloads of either layout decode regardless of the
+    codec's own ``layout`` setting (the blob metadata wins).
+    """
 
     name = "zfp"
     decode_accepts_buffer = True
+    supports_preview = True
 
     def __init__(
         self,
@@ -172,6 +210,7 @@ class ZFPChunkCodec(Codec):
         block_size: int = 4,
         entropy: str = "huffman",
         backend: str = "zlib",
+        layout: str = "grouped",
     ) -> None:
         from repro.zfp.codec import ZFPLikeCompressor
 
@@ -179,11 +218,13 @@ class ZFPChunkCodec(Codec):
         self.block_size = int(block_size)
         self.entropy = entropy
         self.backend = backend
+        self.layout = layout
         self._compressor = ZFPLikeCompressor(
             error_bound=self.error_bound,
             block_size=self.block_size,
             entropy=entropy,
             backend=backend,
+            layout=layout,
         )
 
     def encode(self, chunk: np.ndarray, anchors: Optional[Sequence[np.ndarray]] = None) -> bytes:
@@ -197,12 +238,22 @@ class ZFPChunkCodec(Codec):
     ) -> np.ndarray:
         return self._compressor.decompress(payload, scheduler=scheduler)
 
+    def decode_preview(
+        self,
+        payload: bytes,
+        fraction: float,
+        anchors: Optional[Sequence[np.ndarray]] = None,
+        scheduler=None,
+    ):
+        return self._compressor.decompress_preview(payload, fraction, scheduler=scheduler)
+
     def params(self) -> Dict:
         return {
             "error_bound": self.error_bound.to_dict(),
             "block_size": self.block_size,
             "entropy": self.entropy,
             "backend": self.backend,
+            "layout": self.layout,
         }
 
 

@@ -31,6 +31,7 @@ import os
 import threading
 import time
 import zlib
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -110,6 +111,10 @@ class ChunkFetcher:
         # hit/miss counts, but only when telemetry is enabled (its methods are
         # no-ops otherwise).
         self.telemetry = _obs.Recorder()
+        # Preview decode reports, keyed like their cache entries; bounded so a
+        # long-lived fetcher sweeping many (chunk, fraction) pairs cannot grow
+        # it without limit.  Guarded by ``_cache_lock``.
+        self._preview_info: "OrderedDict[Tuple, Dict]" = OrderedDict()
 
     @property
     def store(self) -> ByteStore:
@@ -329,6 +334,98 @@ class ChunkFetcher:
             _fresh.add(key)
         return decoded
 
+    _PREVIEW_INFO_MAX = 4096
+
+    def get_chunk_preview(
+        self,
+        name: str,
+        index: int,
+        fraction: float,
+        scheduler: Optional[ChunkScheduler] = None,
+    ) -> Tuple[np.ndarray, Dict]:
+        """Decode a coarse preview of one chunk within a byte-budget fraction.
+
+        Returns ``(array, info)`` — ``info`` is the codec's preview report
+        (``groups_decoded`` / ``bytes_decoded`` / ``rms_error_estimate`` ...).
+        Fields whose codec has no progressive layout fall back to a plain
+        :meth:`get_chunk` billed at the full payload size.  Preview chunks are
+        cached in the *private* LRU under keys extended with the fraction, so
+        they never alias full-precision entries (and never enter the shared
+        cache, which is reserved for full decodes).
+        """
+        recorder = _obs.get_recorder()
+        entry = self._lookup(name)
+        codec = self.codec_for(entry)
+        if not getattr(codec, "supports_preview", False):
+            if not 0 <= index < len(entry.chunks):
+                raise ArchiveCorruptionError(
+                    f"field {name!r}: manifest lists {len(entry.chunks)} chunks but the "
+                    f"chunk grid {entry.grid_counts} implies chunk {index} should exist"
+                )
+            nbytes = int(entry.chunks[index].length)
+            info = {
+                "groups_decoded": 1,
+                "groups_total": 1,
+                "bytes_decoded": nbytes,
+                "bytes_total": nbytes,
+                "rms_error_estimate": 0.0,
+            }
+            return self.get_chunk(name, index, scheduler=scheduler), info
+
+        key = (name, int(index), "preview", float(fraction))
+        with self._cache_lock:
+            cached = self.cache.get(key)
+            cached_info = self._preview_info.get(key) if cached is not None else None
+        if cached is not None and cached_info is not None:
+            recorder.count("store.cache.hits")
+            return cached, dict(cached_info)
+        recorder.count("store.cache.misses")
+
+        if not 0 <= index < len(entry.chunks):
+            raise ArchiveCorruptionError(
+                f"field {name!r}: manifest lists {len(entry.chunks)} chunks but the "
+                f"chunk grid {entry.grid_counts} implies chunk {index} should exist"
+            )
+        chunk = entry.chunks[index]
+        payload = self.read_payload(entry, chunk)
+        try:
+            if isinstance(payload, memoryview) and not getattr(
+                codec, "decode_accepts_buffer", False
+            ):
+                buf = payload.tobytes()
+                payload.release()
+                payload = buf
+            decode_start = time.perf_counter()
+            decoded, info = codec.decode_preview(payload, fraction, scheduler=scheduler)
+            decode_seconds = time.perf_counter() - decode_start
+        finally:
+            if isinstance(payload, memoryview):
+                payload.release()
+        if decoded.shape != chunk.shape:
+            raise ArchiveCorruptionError(
+                f"field {name!r} chunk {index}: preview shape {decoded.shape} "
+                f"does not match manifest shape {chunk.shape}"
+            )
+        expected_dtype = np.dtype(entry.dtype)
+        if decoded.dtype != expected_dtype:
+            decoded = decoded.astype(expected_dtype)
+        decoded = freeze_chunk(decoded)
+        with self._cache_lock:
+            self.cache.put(key, decoded)
+            self._preview_info[key] = dict(info)
+            self._preview_info.move_to_end(key)
+            while len(self._preview_info) > self._PREVIEW_INFO_MAX:
+                self._preview_info.popitem(last=False)
+        self.telemetry.count("store.preview.chunks")
+        self.telemetry.count("store.preview.bytes_decoded", int(info["bytes_decoded"]))
+        self.telemetry.count("store.preview.bytes_total", int(info["bytes_total"]))
+        if recorder.enabled:
+            recorder.observe("store.preview.decode_seconds", decode_seconds)
+            recorder.count("store.preview.chunks")
+            recorder.count("store.preview.bytes_decoded", int(info["bytes_decoded"]))
+            recorder.count("store.preview.bytes_total", int(info["bytes_total"]))
+        return decoded, dict(info)
+
 
 class ArchiveReader:
     """Random-access reader for one ``XFA1`` archive file.
@@ -506,11 +603,17 @@ class ArchiveReader:
     # ------------------------------------------------------------------ #
     # reads
     # ------------------------------------------------------------------ #
-    def read_field(self, name: str) -> np.ndarray:
-        """Decompress and return one whole field."""
-        return self.read_region(name, None)
+    def read_field(self, name: str, preview_fraction: Optional[float] = None) -> np.ndarray:
+        """Decompress and return one whole field.
 
-    def read_region(self, name: str, region=None) -> np.ndarray:
+        ``preview_fraction`` requests a coarse progressive preview instead of
+        the full-precision decode — see :meth:`read_region`.
+        """
+        return self.read_region(name, None, preview_fraction=preview_fraction)
+
+    def read_region(
+        self, name: str, region=None, preview_fraction: Optional[float] = None
+    ) -> np.ndarray:
         """Return the sub-array of ``name`` selected by ``region``.
 
         ``region`` is a tuple of slices/ints (trailing axes default to full
@@ -518,7 +621,17 @@ class ArchiveReader:
         region are read from disk and decompressed; multi-chunk regions are
         fetched and decoded in parallel through the reader's scheduler and
         assembled into one preallocated output array as they complete.
+
+        ``preview_fraction`` (0 < f) asks each chunk's codec for a coarse
+        preview decoded from roughly that fraction of its entropy payload —
+        supported by ``zfp`` fields with the grouped progressive layout;
+        other fields silently fall back to a full decode.  Use
+        :meth:`read_region_preview` to also get the decode report (bytes
+        touched, error estimate).
         """
+        if preview_fraction is not None:
+            out, _ = self.read_region_preview(name, region, fraction=preview_fraction)
+            return out
         self._require_open()
         entry = self.manifest[name]
         sls = normalize_region(entry.shape, region)
@@ -547,6 +660,59 @@ class ArchiveReader:
                 dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
                 out[dest] = chunk[src]
         return out
+
+    def read_region_preview(
+        self, name: str, region=None, fraction: float = 0.25
+    ) -> Tuple[np.ndarray, Dict]:
+        """Coarse progressive read of a region, with its decode report.
+
+        Like :meth:`read_region`, but each intersecting chunk is decoded from
+        (roughly) the first ``fraction`` of its entropy payload via the
+        codec's progressive layout.  Returns ``(array, info)`` where ``info``
+        aggregates over the touched chunks: ``chunks``, ``groups_decoded`` /
+        ``groups_total``, ``bytes_decoded`` / ``bytes_total``, and
+        ``rms_error_estimate`` (point-count-weighted RMS over the chunks —
+        an upper-level view of the energy left in the dropped coefficient
+        groups; 0.0 when everything decoded in full).
+        """
+        self._require_open()
+        entry = self.manifest[name]
+        sls = normalize_region(entry.shape, region)
+        out_shape = tuple(sl.stop - sl.start for sl in sls)
+        out = np.empty(out_shape, dtype=np.dtype(entry.dtype))
+        indices = chunks_intersecting_region(entry.shape, entry.chunk_shape, sls)
+        intra = self._scheduler if len(indices) == 1 else None
+
+        def fetch(index: int) -> Tuple[int, Tuple[np.ndarray, Dict]]:
+            return index, self._fetcher.get_chunk_preview(
+                name, index, fraction, scheduler=intra
+            )
+
+        totals = {
+            "chunks": 0,
+            "groups_decoded": 0,
+            "groups_total": 0,
+            "bytes_decoded": 0,
+            "bytes_total": 0,
+        }
+        energy = 0.0
+        points = 0
+        with _obs.span("store.preview.region_seconds", field=name, chunks=len(indices)):
+            for _, (index, (chunk, info)) in self._scheduler.imap_unordered(fetch, indices):
+                chunk_entry = entry.chunks[index]
+                dest, src = _overlap(sls, chunk_entry.start, chunk_entry.stop)
+                out[dest] = chunk[src]
+                totals["chunks"] += 1
+                totals["groups_decoded"] += int(info["groups_decoded"])
+                totals["groups_total"] += int(info["groups_total"])
+                totals["bytes_decoded"] += int(info["bytes_decoded"])
+                totals["bytes_total"] += int(info["bytes_total"])
+                n = int(np.prod(chunk_entry.shape))
+                energy += float(info["rms_error_estimate"]) ** 2 * n
+                points += n
+        totals["fraction"] = float(fraction)
+        totals["rms_error_estimate"] = float(np.sqrt(energy / points)) if points else 0.0
+        return out, totals
 
     # ------------------------------------------------------------------ #
     # time-stepped reads

@@ -8,14 +8,44 @@ coefficients.  This package implements a simplified fixed-accuracy variant of
 that design (4-wide blocks, orthonormal DCT-II transform, conservative
 coefficient quantization) used as an additional baseline in the ablation
 benchmarks.
+
+The transform path is batched (:mod:`repro.zfp.transform`) and the default
+payload layout is significance-grouped (:mod:`repro.zfp.layout`), so a byte
+prefix of each chunk decodes to a coarse preview — see
+:meth:`ZFPLikeCompressor.decompress_preview`.
 """
 
-from repro.zfp.transform import dct_matrix, block_transform_forward, block_transform_inverse
-from repro.zfp.codec import ZFPLikeCompressor
+from repro.zfp.codec import ZFP_LAYOUTS, ZFPLikeCompressor
+from repro.zfp.layout import (
+    clear_significance_plans,
+    groups_for_fraction,
+    significance_plan,
+    significance_plan_info,
+)
+from repro.zfp.transform import (
+    MAX_TRANSFORM_SIZE,
+    block_transform_forward,
+    block_transform_forward_reference,
+    block_transform_inverse,
+    block_transform_inverse_reference,
+    dct_matrix,
+    field_transform_forward,
+    field_transform_inverse,
+)
 
 __all__ = [
+    "MAX_TRANSFORM_SIZE",
+    "ZFP_LAYOUTS",
     "dct_matrix",
     "block_transform_forward",
     "block_transform_inverse",
+    "block_transform_forward_reference",
+    "block_transform_inverse_reference",
+    "field_transform_forward",
+    "field_transform_inverse",
+    "significance_plan",
+    "significance_plan_info",
+    "clear_significance_plans",
+    "groups_for_fraction",
     "ZFPLikeCompressor",
 ]

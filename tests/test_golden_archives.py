@@ -27,6 +27,7 @@ GOLDEN_CODECS = {
     "mixed-codec": {"sz", "zfp", "lossless"},
     "timeseries": {"sz", "temporal-delta"},
     "sz-hybrid": {"sz"},
+    "zfp-progressive": {"zfp"},
 }
 
 
@@ -142,6 +143,65 @@ class TestGoldenSZHybrid:
         assert by_name["FLNT"]["codec_params"]["predictor"] == "lorenzo"
         assert by_name["FLNTC"]["codec_params"]["predictor"] == "regression"
         assert by_name["LWCF"]["codec_params"]["predictor"] == "interpolation"
+
+
+class TestGoldenZFPProgressive:
+    """The zfp-progressive fixture pins the grouped (significance-ordered)
+    payload layout, while mixed-codec pins the legacy interleaved one.
+
+    Together they are the backward-compat contract of the layout change: the
+    grouped fixture fails if the batched transform, the per-block step, or
+    the per-group sections drift; the mixed-codec fixture (regenerated never)
+    fails if legacy payloads stop decoding bit-identically.
+    """
+
+    def test_grouped_layout_pinned_in_manifest(self):
+        payload = json.loads(
+            golden_path("zfp-progressive").with_suffix(".manifest.json").read_text()
+        )
+        by_name = {f["name"]: f for f in payload["fields"]}
+        assert sorted(by_name) == ["cube", "line", "plane", "ragged"]
+        ndims = {name: len(by_name[name]["shape"]) for name in by_name}
+        assert sorted(ndims.values()) == [1, 2, 2, 3]
+        for name, entry in by_name.items():
+            assert entry["codec"] == "zfp", name
+            assert entry["codec_params"]["layout"] == "grouped", name
+
+    def test_legacy_mixed_codec_payload_has_no_layout_param(self):
+        # the compat fixture predates the layout param: its manifest must keep
+        # not mentioning it, and its payloads decode as interleaved
+        payload = json.loads(
+            golden_path("mixed-codec").with_suffix(".manifest.json").read_text()
+        )
+        by_name = {f["name"]: f for f in payload["fields"]}
+        assert by_name["FLNTC"]["codec"] == "zfp"
+        assert "layout" not in by_name["FLNTC"]["codec_params"]
+
+    def test_preview_reads_decode_prefixes(self):
+        with ArchiveReader(golden_path("zfp-progressive")) as reader:
+            expected = np.load(
+                golden_path("zfp-progressive").with_suffix(".expected.npz")
+            )
+            for name in reader.names:
+                full, info_full = reader.read_region_preview(name, None, fraction=1.0)
+                assert np.array_equal(full, expected[name]), name
+                assert info_full["bytes_decoded"] == info_full["bytes_total"]
+                assert info_full["rms_error_estimate"] == 0.0
+                coarse, info = reader.read_region_preview(name, None, fraction=0.25)
+                assert coarse.shape == expected[name].shape
+                assert info["bytes_decoded"] < info["bytes_total"], name
+                assert info["groups_decoded"] < info["groups_total"], name
+                assert info["rms_error_estimate"] > 0.0, name
+
+    def test_legacy_zfp_preview_falls_back_to_full_decode(self):
+        # interleaved payloads have no decodable prefix: the preview path must
+        # return the bit-exact full decode and report everything as decoded
+        expected = np.load(golden_path("mixed-codec").with_suffix(".expected.npz"))
+        with ArchiveReader(golden_path("mixed-codec")) as reader:
+            coarse, info = reader.read_region_preview("FLNTC", None, fraction=0.25)
+        assert np.array_equal(coarse, expected["FLNTC"])
+        assert info["bytes_decoded"] == info["bytes_total"]
+        assert info["groups_decoded"] == info["groups_total"]
 
 
 class TestGoldenTimeseries:

@@ -97,3 +97,17 @@ def test_repro_run_list(capsys):
     out = capsys.readouterr().out
     for name in available_scenarios():
         assert name in out
+
+
+def test_zfp_progressive_preview_extras(tmp_path, capsys):
+    result = run_scenario("zfp-progressive", tmp_path / "prog.xfa", seed=2)
+    preview = result.extras["preview"]
+    assert preview["fraction"] == 0.25
+    assert preview["bytes_decoded"] < preview["bytes_total"]
+    assert preview["groups_decoded"] < preview["groups_total"]
+    assert preview["rms_error_estimate"] > 0.0
+    # and the CLI run surfaces the preview line
+    assert main(["run", "zfp-progressive", "-o", str(tmp_path / "cli.xfa"), "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "preview: FLNT @ fraction 0.25" in out
+    assert "rms error estimate" in out

@@ -594,3 +594,86 @@ class TestLRUChunkCache:
         cache.get("y")
         stats = cache.stats
         assert stats["hits"] == 1 and stats["misses"] == 1 and stats["entries"] == 1
+
+
+class TestPreviewReads:
+    """Progressive (prefix) reads through the reader's preview path."""
+
+    @pytest.fixture()
+    def zfp_archive(self, tmp_path, cesm_small):
+        path = tmp_path / "zfp-preview.xfa"
+        with ArchiveWriter(
+            path, chunk_shape=(24, 24), error_bound=ErrorBound.relative(1e-3)
+        ) as writer:
+            writer.add_field("FLNT", cesm_small["FLNT"].data, codec="zfp")
+            writer.add_field("FLNTC", cesm_small["FLNTC"].data)  # sz: no preview
+        return path
+
+    def test_full_fraction_matches_read_field(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            full = reader.read_field("FLNT")
+            preview, info = reader.read_region_preview("FLNT", None, fraction=1.0)
+        assert np.array_equal(preview, full)
+        assert info["bytes_decoded"] == info["bytes_total"]
+        assert info["rms_error_estimate"] == 0.0
+        assert info["fraction"] == 1.0
+
+    def test_partial_fraction_decodes_prefix(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            full = reader.read_field("FLNT").astype(np.float64)
+            coarse, info = reader.read_region_preview("FLNT", None, fraction=0.25)
+        assert coarse.shape == full.shape
+        assert info["bytes_decoded"] < info["bytes_total"]
+        assert info["groups_decoded"] < info["groups_total"]
+        assert info["chunks"] == 8
+        # the aggregated estimate really describes the coarse field
+        rms = float(np.sqrt(np.mean((coarse.astype(np.float64) - full) ** 2)))
+        assert rms > 0.0
+        assert info["rms_error_estimate"] > 0.0
+
+    def test_region_preview_matches_region_of_field_preview(self, zfp_archive):
+        region = (slice(0, 24), slice(10, 40))
+        with ArchiveReader(zfp_archive) as reader:
+            whole, _ = reader.read_region_preview("FLNT", None, fraction=0.3)
+            window, _ = reader.read_region_preview("FLNT", region, fraction=0.3)
+        assert np.array_equal(window, whole[region])
+
+    def test_read_region_preview_fraction_kwarg(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            via_kwarg = reader.read_region("FLNT", None, preview_fraction=0.3)
+            direct, _ = reader.read_region_preview("FLNT", None, fraction=0.3)
+            via_field = reader.read_field("FLNT", preview_fraction=0.3)
+        assert np.array_equal(via_kwarg, direct)
+        assert np.array_equal(via_field, direct)
+
+    def test_preview_entries_never_alias_full_decodes(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            coarse, _ = reader.read_region_preview("FLNT", None, fraction=0.25)
+            full = reader.read_field("FLNT")
+            coarse_again, _ = reader.read_region_preview("FLNT", None, fraction=0.25)
+        assert not np.array_equal(coarse, full)
+        assert np.array_equal(coarse, coarse_again)
+
+    def test_preview_cache_hits_skip_decode(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            _, info_a = reader.read_region_preview("FLNT", None, fraction=0.25)
+            decodes = reader._fetcher.telemetry.counter("store.preview.chunks")
+            _, info_b = reader.read_region_preview("FLNT", None, fraction=0.25)
+            decodes_after = reader._fetcher.telemetry.counter("store.preview.chunks")
+        assert decodes_after == decodes  # second sweep served from cache
+        assert info_a == info_b  # including the cached decode reports
+
+    def test_non_progressive_codec_falls_back_to_full(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            full = reader.read_field("FLNTC")
+            preview, info = reader.read_region_preview("FLNTC", None, fraction=0.1)
+        assert np.array_equal(preview, full)
+        assert info["bytes_decoded"] == info["bytes_total"] > 0
+        assert info["rms_error_estimate"] == 0.0
+
+    def test_bad_fraction_rejected(self, zfp_archive):
+        with ArchiveReader(zfp_archive) as reader:
+            with pytest.raises(ValueError):
+                reader.read_region_preview("FLNT", None, fraction=0.0)
+            with pytest.raises(ValueError):
+                reader.read_region_preview("FLNT", None, fraction=float("nan"))

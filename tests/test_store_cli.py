@@ -420,3 +420,44 @@ class TestAppendSteps:
         assert archive.stat().st_size > good_size
         assert main(["verify", str(archive), "--deep"]) == 0
         capsys.readouterr()
+
+
+class TestPreviewCommand:
+    @pytest.fixture()
+    def zfp_archive(self, tmp_path, cli_fieldset_dir):
+        path = tmp_path / "zfp-snap.xfa"
+        assert main([
+            "pack", str(cli_fieldset_dir), str(path),
+            "--chunk", "24,24", "--error-bound", "1e-3", "--codec", "zfp",
+        ]) == 0
+        return path
+
+    def test_preview_reports_prefix_decode(self, zfp_archive, capsys):
+        capsys.readouterr()
+        assert main(["preview", str(zfp_archive), "FLNT", "--fraction", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "@ fraction 0.25" in out
+        assert "coefficient groups" in out
+        assert "rms error estimate" in out
+
+    def test_preview_writes_npy(self, zfp_archive, tmp_path, capsys):
+        out_npy = tmp_path / "coarse.npy"
+        assert main([
+            "preview", str(zfp_archive), "FLNT",
+            "--region", "0:24,0:48", "--fraction", "0.5", "-o", str(out_npy),
+        ]) == 0
+        capsys.readouterr()
+        assert np.load(out_npy).shape == (24, 48)
+
+    def test_preview_on_non_progressive_codec_decodes_fully(
+        self, cli_archive_master, capsys
+    ):
+        # sz fields have no prefix layout: the CLI still works, reporting 100%
+        assert main(["preview", str(cli_archive_master), "FLNT"]) == 0
+        out = capsys.readouterr().out
+        assert "(100.0%)" in out
+
+    def test_preview_unknown_field_reports_error(self, zfp_archive, capsys):
+        assert main(["preview", str(zfp_archive), "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE" in err
