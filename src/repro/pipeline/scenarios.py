@@ -77,6 +77,14 @@ class Scenario:
         set) at this entropy-byte budget and attaches the decode report under
         ``extras["preview"]`` — the dashboard-traffic workload for zfp
         grouped-layout fields.
+    serve_requests:
+        When ``> 0``, :func:`run_scenario` stands up an in-process
+        :class:`~repro.serve.service.ArchiveService` over the written archive
+        and replays this many HTTP-shaped region requests against it (the
+        first field, over ``demo_region`` when one is set), attaching request
+        counts, shared-cache decode dedup and latency quantiles under
+        ``extras["serving"]`` — the concurrent-dashboard workload the service
+        layer exists for, with no sockets involved.
     """
 
     name: str
@@ -89,6 +97,7 @@ class Scenario:
     steps: int = 0
     dt: float = 1.0
     preview_fraction: Optional[float] = None
+    serve_requests: int = 0
 
     def build_fieldset(self, seed: int = 0) -> FieldSet:
         """Generate (and optionally subset) the scenario's synthetic data."""
@@ -207,7 +216,54 @@ def run_scenario(
             "region_shape": list(preview.shape),
             **info,
         }
+    if scenario.serve_requests > 0:
+        result.extras["serving"] = _replay_serving_traffic(
+            scenario, output, jobs=jobs
+        )
     return result
+
+
+def _replay_serving_traffic(
+    scenario: Scenario, output: PathLike, jobs: Optional[int] = None
+) -> Dict:
+    """Dispatch the scenario's serving workload against an in-process service.
+
+    Every request targets the same region of the first field, so with the
+    shared single-flight cache the expected decode count is exactly the
+    region's chunk count regardless of ``serve_requests`` — the dedup ratio
+    reported here is the service layer's whole value proposition.
+    """
+    from repro.serve.service import ArchiveService
+    from repro.store.shared_cache import SharedChunkCache
+
+    query: Dict[str, str] = {}
+    if scenario.demo_region is not None:
+        query["region"] = ",".join(
+            f"{sl.start}:{sl.stop}" for sl in scenario.demo_region
+        )
+    # a fresh cache, not the process singleton: the dedup numbers must
+    # describe this replay alone
+    with ArchiveService(
+        {scenario.name: output}, cache=SharedChunkCache(), jobs=jobs
+    ) as service:
+        with service.handle(scenario.name).reader() as reader:
+            target = reader.names[0]
+        path = f"/archives/{scenario.name}/fields/{target}/region"
+        ok = 0
+        for _ in range(scenario.serve_requests):
+            response = service.dispatch("GET", path, query=dict(query), headers={})
+            if response.status == 200:
+                ok += 1
+        with service.handle(scenario.name).reader() as reader:
+            stats = reader.cache_stats()
+        requests = service.request_stats()
+        return {
+            "field": target,
+            "requests": scenario.serve_requests,
+            "ok": ok,
+            "chunks_decoded": int(stats["chunks_decoded"]),
+            "p99_seconds": requests.get("http.request.p99_seconds", 0.0),
+        }
 
 
 # --------------------------------------------------------------------------- #
@@ -268,6 +324,19 @@ register_scenario(
         config=PipelineConfig(codec="zfp", error_bound=1e-3, chunk_shape=(24, 48)),
         demo_region=(slice(0, 48), slice(0, 48)),
         preview_fraction=0.25,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="serve-dashboard",
+        description="Concurrent dashboard traffic through the HTTP service over one shared cache",
+        dataset="cesm",
+        shape=(48, 96),
+        fields=("FLNT", "LWCF"),
+        config=PipelineConfig(codec="zfp", error_bound=1e-3, chunk_shape=(24, 48)),
+        demo_region=(slice(0, 48), slice(0, 48)),
+        serve_requests=8,
     )
 )
 

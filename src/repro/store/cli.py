@@ -290,6 +290,11 @@ def _cmd_preview(args: argparse.Namespace) -> int:
         f"entropy bytes ({pct:.1f}%), rms error estimate {info['rms_error_estimate']:.6g} "
         f"({info['chunks']} chunks)"
     )
+    if info.get("fallback"):
+        print(
+            f"note: {args.field}'s codec has no progressive layout — this was a "
+            "full decode billed at full payload size, not a partial preview"
+        )
     return 0
 
 
@@ -553,11 +558,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{_human_bytes(preview['bytes_total'])} entropy bytes ({pct:.1f}%), "
             f"rms error estimate {preview['rms_error_estimate']:.6g}"
         )
+    serving = result.extras.get("serving")
+    if serving:
+        print(
+            f"serving: {serving['ok']}/{serving['requests']} requests ok on "
+            f"{serving['field']}, {serving['chunks_decoded']} chunk decodes total "
+            f"(shared-cache dedup), p99 {serving['p99_seconds'] * 1e3:.2f} ms"
+        )
     if result.verified_ok is False:
         for error in result.verify_report.get("errors", []):
             print(f"error: {error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.http import serve
+    from repro.serve.service import ArchiveService
+
+    service = ArchiveService(
+        list(args.archives), refresh=args.refresh, backend=args.io_backend, jobs=args.jobs
+    )
+    try:
+        if args.frontend == "fastapi":
+            try:
+                import uvicorn
+
+                from repro.serve.app import create_app
+            except ImportError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            uvicorn.run(create_app(service), host=args.host, port=args.port)
+            return 0
+
+        def ready(server) -> None:
+            print(f"serving {len(service.archive_ids)} archive(s) at {server.url}")
+            for archive_id in service.archive_ids:
+                handle = service.handle(archive_id)
+                print(f"  /archives/{archive_id}  <-  {handle.path} (generation {handle.generation})")
+            sys.stdout.flush()
+            if args.ready_file:
+                # tests and scripts poll this file to learn the bound port
+                Path(args.ready_file).write_text(server.url)
+
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            max_requests=args.max_requests,
+            ready_callback=ready,
+        )
+        handled = int(service.request_stats().get("http.request.count", 0))
+        print(f"served {handled} request(s)")
+        return 0
+    finally:
+        service.close()
 
 
 def _cmd_compress(args: argparse.Namespace) -> int:
@@ -839,6 +894,52 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="synthetic data seed (default: 0)")
     run.add_argument("--no-verify", action="store_true", help="skip the deep verification pass")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve archives over HTTP (manifest, regions, previews, timesteps) "
+        "from one shared chunk cache",
+        parents=[jobs_parent],
+    )
+    serve.add_argument(
+        "archives",
+        nargs="+",
+        metavar="[ID=]ARCHIVE",
+        help="archives to serve; prefix a path with ID= to choose its URL id "
+        "(default id: the file stem)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="bind port (default: 8000; 0 picks a free port)"
+    )
+    serve.add_argument(
+        "--refresh",
+        choices=("auto", "manual"),
+        default="auto",
+        help="pick up appended generations automatically on the next request "
+        "(auto, default) or only on POST /archives/{id}/refresh (manual)",
+    )
+    serve.add_argument(
+        "--frontend",
+        choices=("stdlib", "fastapi"),
+        default="stdlib",
+        help="HTTP frontend: the dependency-free stdlib server (default) or "
+        "the FastAPI app under uvicorn (requires the [serve] extra)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after answering N requests (bounded smoke-test sessions)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        help="write the bound URL to PATH once the socket is listening "
+        "(lets scripts discover an ephemeral --port 0)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     compress = sub.add_parser(
         "compress",

@@ -91,8 +91,10 @@ class Codec(ABC):
 
         Returns ``(array, info)`` where ``info`` reports ``groups_decoded`` /
         ``groups_total`` / ``bytes_decoded`` / ``bytes_total`` /
-        ``rms_error_estimate``.  The base implementation is the non-progressive
-        fallback: a full decode billed at its full payload size.
+        ``rms_error_estimate`` / ``fallback``.  The base implementation is the
+        non-progressive fallback: a full decode billed at its full payload
+        size, flagged with ``fallback: True`` so callers never mistake it for
+        a cheap prefix read.
         """
         array = self.decode(payload, anchors=anchors, scheduler=scheduler)
         nbytes = len(payload)
@@ -102,6 +104,7 @@ class Codec(ABC):
             "bytes_decoded": nbytes,
             "bytes_total": nbytes,
             "rms_error_estimate": 0.0,
+            "fallback": True,
         }
         return array, info
 

@@ -589,7 +589,15 @@ def normalize_region(shape: Sequence[int], region) -> Tuple[slice, ...]:
             raise ArchiveError(f"region entries must be slices or ints, got {type(item).__name__}")
         if item.step not in (None, 1):
             raise ArchiveError("region slices must have step 1")
-        start, stop, _ = item.indices(size)
+        try:
+            start, stop, _ = item.indices(size)
+        except TypeError:
+            # slice.indices leaks a bare TypeError for non-integer bounds
+            # (slice(0.5, 3.5)); keep the error typed for callers that map
+            # region problems to HTTP statuses
+            raise ArchiveError(
+                f"region slice bounds must be integers, got {item!r} on axis {axis}"
+            ) from None
         if stop <= start:
             raise ArchiveError(f"empty region on axis {axis}: {item}")
         out.append(slice(start, stop))

@@ -27,6 +27,7 @@ chunk exactly once.
 from __future__ import annotations
 
 import inspect
+import math
 import os
 import threading
 import time
@@ -59,6 +60,21 @@ from repro.store.manifest import (
 __all__ = ["ArchiveReader", "ChunkFetcher"]
 
 PathLike = Union[str, os.PathLike]
+
+
+def _validate_preview_fraction(fraction) -> float:
+    """Check a preview byte-budget at the reader boundary.
+
+    Returns the value as ``float``.  Anything outside the finite ``(0, 1]``
+    interval raises :class:`ValueError` *before* it can reach the codec or
+    pollute the fraction-keyed preview cache — values ``> 1`` used to clamp
+    silently (while caching under the unclamped key) and values ``<= 0`` /
+    non-finite failed deep inside the codec or not at all.
+    """
+    value = float(fraction)
+    if not math.isfinite(value) or not 0.0 < value <= 1.0:
+        raise ValueError(f"preview fraction must be in (0, 1], got {fraction!r}")
+    return value
 
 
 class ChunkFetcher:
@@ -348,11 +364,16 @@ class ChunkFetcher:
         Returns ``(array, info)`` — ``info`` is the codec's preview report
         (``groups_decoded`` / ``bytes_decoded`` / ``rms_error_estimate`` ...).
         Fields whose codec has no progressive layout fall back to a plain
-        :meth:`get_chunk` billed at the full payload size.  Preview chunks are
+        :meth:`get_chunk` billed at the full payload size, reported with
+        ``fallback: True`` (progressive decodes report ``fallback: False``).
+        ``fraction`` must be a finite value in ``(0, 1]``; anything else
+        raises :class:`ValueError` here, at the reader boundary, instead of
+        flowing into the codec and the preview cache key.  Preview chunks are
         cached in the *private* LRU under keys extended with the fraction, so
         they never alias full-precision entries (and never enter the shared
         cache, which is reserved for full decodes).
         """
+        fraction = _validate_preview_fraction(fraction)
         recorder = _obs.get_recorder()
         entry = self._lookup(name)
         codec = self.codec_for(entry)
@@ -369,7 +390,11 @@ class ChunkFetcher:
                 "bytes_decoded": nbytes,
                 "bytes_total": nbytes,
                 "rms_error_estimate": 0.0,
+                "fallback": True,
             }
+            self.telemetry.count("store.preview.fallback_chunks")
+            if recorder.enabled:
+                recorder.count("store.preview.fallback_chunks")
             return self.get_chunk(name, index, scheduler=scheduler), info
 
         key = (name, int(index), "preview", float(fraction))
@@ -398,6 +423,10 @@ class ChunkFetcher:
             decode_start = time.perf_counter()
             decoded, info = codec.decode_preview(payload, fraction, scheduler=scheduler)
             decode_seconds = time.perf_counter() - decode_start
+            # progressive codecs predate the fallback flag; normalise it here
+            # so every preview report carries an explicit verdict
+            info = dict(info)
+            info.setdefault("fallback", False)
         finally:
             if isinstance(payload, memoryview):
                 payload.release()
@@ -673,8 +702,14 @@ class ArchiveReader:
         ``groups_total``, ``bytes_decoded`` / ``bytes_total``, and
         ``rms_error_estimate`` (point-count-weighted RMS over the chunks —
         an upper-level view of the energy left in the dropped coefficient
-        groups; 0.0 when everything decoded in full).
+        groups; 0.0 when everything decoded in full).  ``fallback`` is True
+        when the field's codec has no progressive layout and the "preview"
+        was served as a full decode billed at full payload size; clients
+        (the CLI and the HTTP service surface it) should not mistake it for
+        a cheap prefix read.  ``fraction`` must be finite and in ``(0, 1]``
+        (``ValueError`` otherwise).
         """
+        fraction = _validate_preview_fraction(fraction)
         self._require_open()
         entry = self.manifest[name]
         sls = normalize_region(entry.shape, region)
@@ -697,6 +732,7 @@ class ArchiveReader:
         }
         energy = 0.0
         points = 0
+        fallback_chunks = 0
         with _obs.span("store.preview.region_seconds", field=name, chunks=len(indices)):
             for _, (index, (chunk, info)) in self._scheduler.imap_unordered(fetch, indices):
                 chunk_entry = entry.chunks[index]
@@ -707,11 +743,15 @@ class ArchiveReader:
                 totals["groups_total"] += int(info["groups_total"])
                 totals["bytes_decoded"] += int(info["bytes_decoded"])
                 totals["bytes_total"] += int(info["bytes_total"])
+                if info.get("fallback"):
+                    fallback_chunks += 1
                 n = int(np.prod(chunk_entry.shape))
                 energy += float(info["rms_error_estimate"]) ** 2 * n
                 points += n
         totals["fraction"] = float(fraction)
         totals["rms_error_estimate"] = float(np.sqrt(energy / points)) if points else 0.0
+        # one codec per field: either every chunk fell back or none did
+        totals["fallback"] = fallback_chunks > 0
         return out, totals
 
     # ------------------------------------------------------------------ #
